@@ -1,0 +1,51 @@
+// §4.3's buffer sizing: the in-kernel buffer bounds how long the system
+// runs between generation/analysis mode switches ("the current system uses
+// a 64 megabyte buffer ... approximately 32 million instructions of
+// continuous execution").  We sweep the buffer size and report the
+// instructions-per-switch ratio, which should scale linearly.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "kernel/system_build.h"
+
+using namespace wrl;
+
+int main(int argc, char** argv) {
+  double scale = BenchScale(argc, argv);
+  WorkloadSpec w = PaperWorkload("compress", scale);
+  printf("=== In-kernel buffer sizing vs analysis-mode switches ===\n");
+  printf("%-10s %10s %14s %16s\n", "buffer", "switches", "traced instrs", "instrs/switch");
+
+  double per_mb = 0;
+  for (uint32_t kb : {192u, 384u, 768u, 1536u}) {
+    SystemConfig config;
+    config.tracing = true;
+    config.clock_period = 200000 * 15;
+    config.trace_buf_bytes = kb * 1024;
+    config.program_source = w.source;
+    config.program_name = w.name;
+    config.files = w.files;
+    auto sys = BuildSystem(config);
+    sys->SetTraceSink([](const uint32_t*, size_t) {});
+    RunResult r = sys->Run(3'000'000'000ull);
+    if (!r.halted) {
+      printf("%7uKB DID NOT HALT\n", kb);
+      continue;
+    }
+    uint64_t switches = sys->AnalysisSwitches();
+    uint64_t instrs = sys->machine().instructions();
+    double per_switch = switches ? static_cast<double>(instrs) / switches : 0;
+    printf("%7uKB %10llu %14llu %16.0f\n", kb, static_cast<unsigned long long>(switches),
+           static_cast<unsigned long long>(instrs), per_switch);
+    if (switches > 0) {
+      per_mb = per_switch / (kb / 1024.0);
+    }
+  }
+  if (per_mb > 0) {
+    printf("\nextrapolation: a 64MB buffer sustains ~%.0fM instructions between\n",
+           per_mb * 64 / 1e6);
+    printf("analysis phases (the paper reports ~32M; the ratio depends on the\n");
+    printf("workload's trace density).\n");
+  }
+  return 0;
+}

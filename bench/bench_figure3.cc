@@ -1,0 +1,30 @@
+// Figure 3: percent error in predicted execution times for Ultrix, as an
+// ASCII bar chart.  The paper's shape: most workloads within ~5%, with the
+// short-running and I/O-heavy ones (sed, compress) and the write-buffer-
+// bound one (liv) larger.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace wrl;
+
+int main(int argc, char** argv) {
+  double scale = BenchScale(argc, argv);
+  printf("=== Figure 3: Error in predicted execution times for Ultrix (scale %.2f) ===\n", scale);
+  std::vector<ExperimentResult> results = RunPersonalitySuite(Personality::kUltrix, scale);
+  printf("%-10s %8s  (one '#' per half percent of |error|)\n", "workload", "error");
+  double worst = 0;
+  for (const ExperimentResult& r : results) {
+    double err = r.TimeErrorPercent();
+    worst = std::max(worst, std::fabs(err));
+    int bars = static_cast<int>(std::fabs(err) * 2.0 + 0.5);
+    printf("%-10s %+7.2f%% |", r.workload.c_str(), err);
+    for (int i = 0; i < bars && i < 60; ++i) {
+      putchar('#');
+    }
+    putchar('\n');
+  }
+  printf("\nworst |error| = %.2f%%\n", worst);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives of the tracing
+// toolchain: assembly, instrumentation, trace parsing, and the simulators.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "epoxie/epoxie.h"
+#include "harness/bare_runtime.h"
+#include "memsys/memsys.h"
+#include "sim/tlb_sim.h"
+#include "support/rng.h"
+#include "trace/parser.h"
+
+namespace wrl {
+namespace {
+
+const char* kBody = R"(
+        .globl main
+main:
+        addiu $sp, $sp, -16
+        sw   $ra, 12($sp)
+        la   $t0, data
+        li   $t1, 0
+        li   $t2, 200
+loop:   sll  $t3, $t1, 2
+        andi $t3, $t3, 0xfc
+        addu $t3, $t0, $t3
+        lw   $t4, 0($t3)
+        addu $t4, $t4, $t1
+        sw   $t4, 0($t3)
+        addiu $t1, $t1, 1
+        bne  $t1, $t2, loop
+        nop
+        lw   $ra, 12($sp)
+        jr   $ra
+        addiu $sp, $sp, 16
+        .data
+data:   .space 256
+)";
+
+void BM_Assemble(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Assemble("bench.s", kBody));
+  }
+}
+BENCHMARK(BM_Assemble);
+
+void BM_EpoxieInstrument(benchmark::State& state) {
+  ObjectFile obj = Assemble("bench.s", kBody);
+  EpoxieConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Instrument(obj, config));
+  }
+}
+BENCHMARK(BM_EpoxieInstrument);
+
+void BM_TracedExecution(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  for (auto _ : state) {
+    BareTraceRun run = RunBareTraced(build);
+    benchmark::DoNotOptimize(run.trace_words.size());
+  }
+}
+BENCHMARK(BM_TracedExecution);
+
+void BM_TraceParse(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  BareTraceRun run = RunBareTraced(build);
+  uint64_t refs = 0;
+  for (auto _ : state) {
+    TraceParser parser(&build.table);
+    parser.SetInitialContext(kKernelPid);
+    parser.Feed(run.trace_words);
+    parser.Finish();
+    refs += parser.stats().refs;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(refs));
+}
+BENCHMARK(BM_TraceParse);
+
+void BM_CacheSim(benchmark::State& state) {
+  MemorySystem ms(MemSysConfig{});
+  Rng rng(42);
+  std::vector<uint32_t> addrs(4096);
+  for (auto& a : addrs) {
+    a = rng.Below(1u << 22) & ~3u;
+  }
+  uint64_t now = 0;
+  for (auto _ : state) {
+    for (uint32_t a : addrs) {
+      now += 1 + ms.Load(a, now);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(addrs.size()));
+}
+BENCHMARK(BM_CacheSim);
+
+void BM_TlbSim(benchmark::State& state) {
+  TlbSimulator tlb;
+  Rng rng(7);
+  std::vector<TraceRef> refs(4096);
+  for (auto& r : refs) {
+    r = {TraceRef::kLoad, rng.Below(1u << 26), 4, 1, false, false};
+  }
+  for (auto _ : state) {
+    for (const TraceRef& r : refs) {
+      benchmark::DoNotOptimize(tlb.OnRef(r));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(refs.size()));
+}
+BENCHMARK(BM_TlbSim);
+
+}  // namespace
+}  // namespace wrl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Table 1: the experimental workloads, with their descriptions and the
+// dynamic behavior of our reconstructions (instruction counts and simulated
+// execution times on the uninstrumented Ultrix system).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "kernel/system_build.h"
+
+using namespace wrl;
+
+int main(int argc, char** argv) {
+  double scale = BenchScale(argc, argv);
+  printf("=== Table 1: Experimental workloads (scale %.2f) ===\n", scale);
+  printf("%-10s %-12s %12s %9s  %s\n", "workload", "class", "user instrs", "seconds",
+         "description");
+  for (const WorkloadSpec& w : PaperWorkloads(scale)) {
+    SystemConfig config;
+    config.program_source = w.source;
+    config.program_name = w.name;
+    config.files = w.files;
+    auto sys = BuildSystem(config);
+    RunResult r = sys->Run(3'000'000'000ull);
+    if (!r.halted) {
+      printf("%-10s DID NOT HALT\n", w.name.c_str());
+      continue;
+    }
+    printf("%-10s %-12s %12llu %9.4f  %s\n", w.name.c_str(),
+           w.fp_intensive ? "fp" : "integer",
+           static_cast<unsigned long long>(sys->machine().user_instructions()),
+           static_cast<double>(sys->ProcessCycles(1)) / 25e6, w.description.c_str());
+  }
+  return 0;
+}

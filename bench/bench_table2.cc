@@ -1,0 +1,37 @@
+// Table 2: run times, measured and predicted, in (simulated) seconds, for
+// both personalities.  As in the paper, absolute values depend on the
+// substrate; the claim under test is that trace-driven prediction tracks
+// the hardware measurement for most workloads.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace wrl;
+
+int main(int argc, char** argv) {
+  double scale = BenchScale(argc, argv);
+  double hz = 25e6;
+  printf("=== Table 2: Run Times, measured and predicted, in seconds (scale %.2f) ===\n", scale);
+  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale);
+  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale);
+
+  printf("%-10s | %21s | %21s\n", "", "Ultrix", "Mach 3.0");
+  printf("%-10s | %10s %10s | %10s %10s\n", "workload", "measured", "predicted", "measured",
+         "predicted");
+  printf("-----------+-----------------------+----------------------\n");
+  for (size_t i = 0; i < ultrix.size(); ++i) {
+    printf("%-10s | %10.4f %10.4f | %10.4f %10.4f\n", ultrix[i].workload.c_str(),
+           ultrix[i].MeasuredSeconds(hz), ultrix[i].PredictedSeconds(hz),
+           mach[i].MeasuredSeconds(hz), mach[i].PredictedSeconds(hz));
+  }
+  printf("\n(parser validation errors: ");
+  uint64_t errors = 0;
+  for (const auto& r : ultrix) {
+    errors += r.parser_errors;
+  }
+  for (const auto& r : mach) {
+    errors += r.parser_errors;
+  }
+  printf("%llu)\n", static_cast<unsigned long long>(errors));
+  return errors == 0 ? 0 : 1;
+}

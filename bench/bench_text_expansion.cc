@@ -1,0 +1,47 @@
+// §3.2's text-expansion comparison: epoxie's minimized instrumentation
+// (1.9–2.3x in the paper) against the pixie-style baseline (4–6x), over
+// every workload binary, the user library, and the kernel.
+#include <cstdio>
+
+#include "asm/assembler.h"
+#include "bench/bench_util.h"
+#include "epoxie/epoxie.h"
+#include "kernel/kernel_asm.h"
+#include "kernel/system_build.h"
+
+using namespace wrl;
+
+int main(int argc, char** argv) {
+  double scale = BenchScale(argc, argv);
+  printf("=== Text expansion: epoxie vs pixie-style instrumentation ===\n");
+  printf("%-10s %10s %10s %10s\n", "binary", "words", "epoxie", "pixie");
+
+  auto measure = [](const char* name, const ObjectFile& obj) {
+    EpoxieConfig e;
+    EpoxieConfig p;
+    p.mode = InstrumentMode::kPixie;
+    InstrumentResult re = Instrument(obj, e);
+    InstrumentResult rp = Instrument(obj, p);
+    printf("%-10s %10u %9.2fx %9.2fx\n", name, re.original_text_words, re.TextGrowthFactor(),
+           rp.TextGrowthFactor());
+    return std::make_pair(re, rp);
+  };
+
+  double esum = 0;
+  double psum = 0;
+  int count = 0;
+  for (const WorkloadSpec& w : PaperWorkloads(scale)) {
+    ObjectFile obj = Assemble(w.name + ".s", w.source);
+    auto [re, rp] = measure(w.name.c_str(), obj);
+    esum += re.TextGrowthFactor();
+    psum += rp.TextGrowthFactor();
+    ++count;
+  }
+  measure("userlib", Assemble("userlib.s", UserLibAsm()));
+  measure("kernel", Assemble("kernel.s", KernelAsm()));
+  measure("server", Assemble("server.s", ServerAsm()));
+
+  printf("\nworkload averages: epoxie %.2fx (paper: 1.9-2.3x), pixie-style %.2fx (paper: 4-6x)\n",
+         esum / count, psum / count);
+  return 0;
+}

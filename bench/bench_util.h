@@ -1,0 +1,46 @@
+// Shared plumbing for the experiment benches: scale handling and suite
+// caching so a single binary regenerating one table doesn't pay twice.
+#ifndef WRLTRACE_BENCH_BENCH_UTIL_H_
+#define WRLTRACE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "workloads/workloads.h"
+
+namespace wrl {
+
+// Workload scale for bench runs: --scale=X or WRL_SCALE env (default 0.2,
+// chosen so the full two-personality suite completes in a few minutes).
+inline double BenchScale(int argc, char** argv) {
+  double scale = 0.2;
+  if (const char* env = std::getenv("WRL_SCALE")) {
+    scale = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(arg.c_str() + 8);
+    }
+  }
+  return scale <= 0 ? 0.2 : scale;
+}
+
+inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality, double scale) {
+  ExperimentOptions options;
+  options.personality = personality;
+  std::vector<ExperimentResult> results;
+  for (const WorkloadSpec& w : PaperWorkloads(scale)) {
+    fprintf(stderr, "  running %-9s (%s)...\n", w.name.c_str(),
+            personality == Personality::kUltrix ? "ultrix" : "mach");
+    results.push_back(RunExperiment(w, options));
+  }
+  return results;
+}
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_BENCH_BENCH_UTIL_H_

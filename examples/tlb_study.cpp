@@ -1,0 +1,108 @@
+// A TLB study in the style the paper's traces enabled (its reference [9],
+// "A Simulation Based Study of TLB Performance"): sweep the simulated TLB
+// size over one workload's trace and watch the miss curve, then compare the
+// 64-entry point against the real kernel counter.
+//
+//   $ ./build/examples/tlb_study
+#include <cstdio>
+#include <vector>
+
+#include "kernel/system_build.h"
+#include "sim/tlb_sim.h"
+#include "trace/parser.h"
+#include "workloads/workloads.h"
+
+using namespace wrl;
+
+namespace {
+
+// A size-parameterized variant of the analysis TLB (the production one is
+// fixed at the hardware's 64 entries).
+class SweepTlb {
+ public:
+  explicit SweepTlb(unsigned entries) : entries_(entries), slots_(entries) {}
+
+  void OnRef(const TraceRef& ref) {
+    if (ref.kind == TraceRef::kIfetch) {
+      ++count_;
+    }
+    if (ref.addr >= 0x80000000u) {
+      return;
+    }
+    uint32_t key = (ref.addr >> 12) << 8 | (ref.pid == kKernelPid ? last_asid_ : ref.pid);
+    if (ref.pid != kKernelPid) {
+      last_asid_ = ref.pid;
+    }
+    for (const uint32_t slot : slots_) {
+      if (slot == key) {
+        return;
+      }
+    }
+    ++misses_;
+    slots_[count_ % entries_] = key;
+  }
+
+  uint64_t misses() const { return misses_; }
+
+ private:
+  unsigned entries_;
+  std::vector<uint32_t> slots_;
+  uint64_t count_ = 0;
+  uint64_t misses_ = 0;
+  uint8_t last_asid_ = 1;
+};
+
+}  // namespace
+
+int main() {
+  WorkloadSpec w = PaperWorkload("eqntott", 0.15);  // The TLB-hostile one.
+  printf("collecting the system trace of %s...\n", w.name.c_str());
+
+  SystemConfig config;
+  config.tracing = true;
+  config.clock_period = 200000 * 15;
+  config.program_source = w.source;
+  config.program_name = w.name;
+  config.files = w.files;
+  auto sys = BuildSystem(config);
+
+  std::vector<SweepTlb> sweeps;
+  for (unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    sweeps.emplace_back(entries);
+  }
+  TlbSimulator production;  // The faithful 64-entry model.
+  TraceParser parser(&sys->kernel_table());
+  parser.SetUserTable(1, &sys->user_table());
+  parser.SetInitialContext(kKernelPid);
+  parser.SetRefSink([&](const TraceRef& ref) {
+    production.OnRef(ref);
+    for (SweepTlb& t : sweeps) {
+      t.OnRef(ref);
+    }
+  });
+  sys->SetTraceSink([&parser](const uint32_t* words, size_t n) { parser.Feed(words, n); });
+  RunResult r = sys->Run(3'000'000'000ull);
+  parser.Finish();
+  if (!r.halted) {
+    printf("did not halt!\n");
+    return 1;
+  }
+
+  printf("\n%-10s %12s\n", "entries", "misses");
+  unsigned sizes[] = {8, 16, 32, 64, 128, 256};
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    printf("%8u   %12llu\n", sizes[i], static_cast<unsigned long long>(sweeps[i].misses()));
+  }
+  printf("\nfaithful 64-entry simulation (random replacement, synthesized\n");
+  printf("handler refs): %llu misses\n",
+         static_cast<unsigned long long>(production.stats().utlb_misses));
+
+  SystemConfig untraced = config;
+  untraced.tracing = false;
+  untraced.clock_period = 200000;
+  auto measured = BuildSystem(untraced);
+  measured->Run(3'000'000'000ull);
+  printf("measured on the uninstrumented system (kernel counter): %llu misses\n",
+         static_cast<unsigned long long>(measured->UtlbMissCount()));
+  return 0;
+}

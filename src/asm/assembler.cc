@@ -1,0 +1,811 @@
+#include "asm/assembler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "isa/isa.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace wrl {
+namespace {
+
+// COP0 register names accepted by mfc0/mtc0 in addition to $N.
+std::optional<uint8_t> ParseCop0Name(std::string_view name) {
+  struct Entry {
+    const char* name;
+    uint8_t reg;
+  };
+  static constexpr Entry kNames[] = {
+      {"index", kCop0Index},     {"random", kCop0Random}, {"entrylo", kCop0EntryLo},
+      {"context", kCop0Context}, {"badvaddr", kCop0BadVAddr}, {"entryhi", kCop0EntryHi},
+      {"status", kCop0Status},   {"cause", kCop0Cause},   {"epc", kCop0Epc},
+      {"prid", kCop0Prid},
+  };
+  for (const Entry& e : kNames) {
+    if (name == e.name) {
+      return e.reg;
+    }
+  }
+  return std::nullopt;
+}
+
+// A symbol reference with optional +/- offset: "sym", "sym+8", "sym-4".
+struct SymbolRef {
+  std::string symbol;
+  int32_t addend = 0;
+};
+
+class Assembler {
+ public:
+  Assembler(std::string_view source_name, std::string_view source)
+      : source_name_(source_name), source_(source) {}
+
+  ObjectFile Run() {
+    obj_.source_name = std::string(source_name_);
+    size_t start = 0;
+    line_number_ = 0;
+    while (start <= source_.size()) {
+      size_t end = source_.find('\n', start);
+      if (end == std::string_view::npos) {
+        end = source_.size();
+      }
+      ++line_number_;
+      ProcessLine(source_.substr(start, end - start));
+      start = end + 1;
+      if (end == source_.size()) {
+        break;
+      }
+    }
+    ApplyBranchFixups();
+    ComputeBlocks();
+    return std::move(obj_);
+  }
+
+ private:
+  // ---- Diagnostics ----
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw Error(StrFormat("%s:%d: %s", std::string(source_name_).c_str(), line_number_,
+                          message.c_str()));
+  }
+
+  // ---- Line processing ----
+  void ProcessLine(std::string_view raw_line) {
+    // Strip comments.  '#' introduces a comment except inside a string.
+    std::string_view line = raw_line;
+    bool in_string = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) {
+        in_string = !in_string;
+      } else if (line[i] == '#' && !in_string) {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    line = StripWhitespace(line);
+
+    // Labels (possibly several).
+    while (true) {
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        break;
+      }
+      std::string_view label = StripWhitespace(line.substr(0, colon));
+      if (label.empty() || !IsIdentifier(label)) {
+        break;  // ':' belongs to something else (not expected in this dialect).
+      }
+      DefineLabel(std::string(label));
+      line = StripWhitespace(line.substr(colon + 1));
+    }
+    if (line.empty()) {
+      return;
+    }
+    if (line.front() == '.') {
+      ProcessDirective(line);
+    } else {
+      ProcessInstruction(line);
+    }
+  }
+
+  static bool IsIdentifier(std::string_view s) {
+    if (s.empty()) {
+      return false;
+    }
+    for (char c : s) {
+      if (!(isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '$')) {
+        return false;
+      }
+    }
+    return !(s[0] >= '0' && s[0] <= '9');
+  }
+
+  void DefineLabel(const std::string& name) {
+    if (defined_.count(name) != 0) {
+      Fail(StrFormat("label '%s' redefined", name.c_str()));
+    }
+    defined_.insert(name);
+    Symbol sym;
+    sym.name = name;
+    sym.section = section_;
+    sym.value = SectionSize();
+    sym.global = globals_.count(name) != 0;
+    obj_.symbols.push_back(sym);
+    if (section_ == SectionId::kText) {
+      leaders_.insert(sym.value);
+    }
+  }
+
+  uint32_t SectionSize() const {
+    switch (section_) {
+      case SectionId::kText: return static_cast<uint32_t>(obj_.text.size());
+      case SectionId::kData: return static_cast<uint32_t>(obj_.data.size());
+      case SectionId::kBss: return obj_.bss_size;
+      default: throw InternalError("bad current section");
+    }
+  }
+
+  // ---- Directives ----
+  void ProcessDirective(std::string_view line) {
+    auto fields = SplitFields(line, " \t,");
+    std::string_view dir = fields[0];
+    if (dir == ".text") {
+      section_ = SectionId::kText;
+    } else if (dir == ".data") {
+      section_ = SectionId::kData;
+    } else if (dir == ".bss") {
+      section_ = SectionId::kBss;
+    } else if (dir == ".globl" || dir == ".global") {
+      if (fields.size() < 2) {
+        Fail(".globl requires a symbol");
+      }
+      for (size_t i = 1; i < fields.size(); ++i) {
+        MarkGlobal(std::string(fields[i]));
+      }
+    } else if (dir == ".word") {
+      for (size_t i = 1; i < fields.size(); ++i) {
+        EmitDataWord(fields[i]);
+      }
+    } else if (dir == ".half") {
+      for (size_t i = 1; i < fields.size(); ++i) {
+        int64_t v = ParseIntOrFail(fields[i]);
+        EmitDataByte(static_cast<uint8_t>(v));
+        EmitDataByte(static_cast<uint8_t>(v >> 8));
+      }
+    } else if (dir == ".byte") {
+      for (size_t i = 1; i < fields.size(); ++i) {
+        EmitDataByte(static_cast<uint8_t>(ParseIntOrFail(fields[i])));
+      }
+    } else if (dir == ".ascii" || dir == ".asciiz") {
+      EmitString(line, dir == ".asciiz");
+    } else if (dir == ".space") {
+      if (fields.size() != 2) {
+        Fail(".space requires a size");
+      }
+      uint32_t n = static_cast<uint32_t>(ParseIntOrFail(fields[1]));
+      if (section_ == SectionId::kBss) {
+        obj_.bss_size += n;
+      } else if (section_ == SectionId::kText) {
+        // Zero-filled text: zero decodes as nop, so this lays out exception
+        // vectors and padding safely.
+        for (uint32_t i = 0; i < n; ++i) {
+          obj_.text.push_back(0);
+        }
+      } else {
+        for (uint32_t i = 0; i < n; ++i) {
+          EmitDataByte(0);
+        }
+      }
+    } else if (dir == ".align") {
+      if (fields.size() != 2) {
+        Fail(".align requires an alignment");
+      }
+      uint32_t align = static_cast<uint32_t>(ParseIntOrFail(fields[1]));
+      if (align == 0 || (align & (align - 1)) != 0) {
+        Fail(".align argument must be a power of two");
+      }
+      while (SectionSize() % align != 0) {
+        if (section_ == SectionId::kBss) {
+          ++obj_.bss_size;
+        } else if (section_ == SectionId::kText) {
+          obj_.text.push_back(0);
+        } else {
+          EmitDataByte(0);
+        }
+      }
+    } else if (dir == ".notrace_on") {
+      region_flags_ |= kBlockNoTrace;
+    } else if (dir == ".notrace_off") {
+      region_flags_ &= ~kBlockNoTrace;
+    } else if (dir == ".handtraced_on") {
+      region_flags_ |= kBlockHandTraced;
+    } else if (dir == ".handtraced_off") {
+      region_flags_ &= ~kBlockHandTraced;
+    } else if (dir == ".idle_start") {
+      point_flags_[static_cast<uint32_t>(obj_.text.size())] |= kBlockIdleStart;
+    } else if (dir == ".idle_stop") {
+      point_flags_[static_cast<uint32_t>(obj_.text.size())] |= kBlockIdleStop;
+    } else {
+      Fail(StrFormat("unknown directive '%s'", std::string(dir).c_str()));
+    }
+  }
+
+  void MarkGlobal(const std::string& name) {
+    globals_.insert(name);
+    for (Symbol& s : obj_.symbols) {
+      if (s.name == name) {
+        s.global = true;
+      }
+    }
+  }
+
+  void EmitDataByte(uint8_t b) {
+    if (section_ == SectionId::kText) {
+      Fail("data directive in .text");
+    }
+    if (section_ == SectionId::kBss) {
+      Fail("initialized data in .bss");
+    }
+    obj_.data.push_back(b);
+  }
+
+  void EmitDataWord(std::string_view field) {
+    if (section_ != SectionId::kData) {
+      Fail(".word outside .data");
+    }
+    while (obj_.data.size() % 4 != 0) {
+      obj_.data.push_back(0);
+    }
+    // Either a number or a symbol(+offset).
+    if (!field.empty() && (isdigit(static_cast<unsigned char>(field[0])) || field[0] == '-' ||
+                           field[0] == '+')) {
+      uint32_t v = static_cast<uint32_t>(ParseIntOrFail(field));
+      for (int i = 0; i < 4; ++i) {
+        obj_.data.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    } else {
+      SymbolRef ref = ParseSymbolRef(field);
+      Relocation r;
+      r.offset = static_cast<uint32_t>(obj_.data.size());
+      r.section = SectionId::kData;
+      r.type = RelocType::kWord32;
+      r.symbol = ref.symbol;
+      r.addend = ref.addend;
+      obj_.relocations.push_back(r);
+      for (int i = 0; i < 4; ++i) {
+        obj_.data.push_back(0);
+      }
+    }
+  }
+
+  void EmitString(std::string_view line, bool zero_terminate) {
+    size_t open = line.find('"');
+    size_t close = line.rfind('"');
+    if (open == std::string_view::npos || close <= open) {
+      Fail("malformed string literal");
+    }
+    std::string_view body = line.substr(open + 1, close - open - 1);
+    for (size_t i = 0; i < body.size(); ++i) {
+      char c = body[i];
+      if (c == '\\' && i + 1 < body.size()) {
+        ++i;
+        switch (body[i]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: Fail(StrFormat("unknown escape '\\%c'", body[i]));
+        }
+      }
+      EmitDataByte(static_cast<uint8_t>(c));
+    }
+    if (zero_terminate) {
+      EmitDataByte(0);
+    }
+  }
+
+  int64_t ParseIntOrFail(std::string_view text) const {
+    try {
+      return ParseInt(text);
+    } catch (const Error& e) {
+      Fail(e.what());
+    }
+  }
+
+  SymbolRef ParseSymbolRef(std::string_view text) const {
+    SymbolRef ref;
+    size_t plus = text.find_first_of("+-", 1);
+    if (plus == std::string_view::npos) {
+      ref.symbol = std::string(StripWhitespace(text));
+    } else {
+      ref.symbol = std::string(StripWhitespace(text.substr(0, plus)));
+      std::string_view tail = text.substr(plus);
+      ref.addend = static_cast<int32_t>(ParseIntOrFail(tail));
+    }
+    if (!IsIdentifier(ref.symbol)) {
+      Fail(StrFormat("bad symbol reference '%s'", std::string(text).c_str()));
+    }
+    return ref;
+  }
+
+  // ---- Instruction emission ----
+  uint32_t Here() const { return static_cast<uint32_t>(obj_.text.size()); }
+
+  void EmitWord(uint32_t word) {
+    if (section_ != SectionId::kText) {
+      Fail("instruction outside .text");
+    }
+    for (int i = 0; i < 4; ++i) {
+      obj_.text.push_back(static_cast<uint8_t>(word >> (8 * i)));
+    }
+  }
+
+  uint8_t ParseReg(std::string_view token) const {
+    auto reg = ParseRegName(StripWhitespace(token));
+    if (!reg) {
+      Fail(StrFormat("bad register '%s'", std::string(token).c_str()));
+    }
+    return *reg;
+  }
+
+  // Parses "off($base)" or "sym" forms used by loads/stores.
+  struct MemOperand {
+    bool direct = true;  // off($base) form.
+    int32_t offset = 0;
+    uint8_t base = 0;
+    SymbolRef ref;  // For the symbol form.
+  };
+
+  MemOperand ParseMemOperand(std::string_view text) const {
+    MemOperand m;
+    text = StripWhitespace(text);
+    size_t open = text.find('(');
+    if (open != std::string_view::npos) {
+      size_t close = text.find(')', open);
+      if (close == std::string_view::npos) {
+        Fail("missing ')' in memory operand");
+      }
+      std::string_view off = StripWhitespace(text.substr(0, open));
+      m.offset = off.empty() ? 0 : static_cast<int32_t>(ParseIntOrFail(off));
+      if (m.offset < -32768 || m.offset > 32767) {
+        Fail("memory offset out of 16-bit range");
+      }
+      m.base = ParseReg(text.substr(open + 1, close - open - 1));
+      return m;
+    }
+    m.direct = false;
+    m.ref = ParseSymbolRef(text);
+    return m;
+  }
+
+  void AddTextReloc(RelocType type, const SymbolRef& ref) {
+    Relocation r;
+    r.offset = Here();
+    r.section = SectionId::kText;
+    r.type = type;
+    r.symbol = ref.symbol;
+    r.addend = ref.addend;
+    obj_.relocations.push_back(r);
+  }
+
+  // Emits "lui $reg, %hi(sym)" + "ori $reg, $reg, %lo(sym)".
+  void EmitLoadAddress(uint8_t reg, const SymbolRef& ref) {
+    AddTextReloc(RelocType::kHi16, ref);
+    EmitWord(EncodeIType(Op::kLui, 0, reg, 0));
+    AddTextReloc(RelocType::kLo16, ref);
+    EmitWord(EncodeIType(Op::kOri, reg, reg, 0));
+  }
+
+  void EmitBranch(Op op, uint8_t rs, uint8_t rt, std::string_view label) {
+    branch_fixups_.push_back({Here(), std::string(StripWhitespace(label)), line_number_});
+    EmitWord(EncodeIType(op, rs, rt, 0));
+  }
+
+  void ProcessInstruction(std::string_view line) {
+    if (section_ != SectionId::kText) {
+      Fail("instruction outside .text");
+    }
+    // Mnemonic = first whitespace-delimited token; rest = comma-separated operands.
+    size_t space = line.find_first_of(" \t");
+    std::string_view mnemonic = (space == std::string_view::npos) ? line : line.substr(0, space);
+    std::string_view rest =
+        (space == std::string_view::npos) ? std::string_view{} : line.substr(space + 1);
+    std::vector<std::string_view> ops;
+    // Split on commas only: memory operands contain parens, not commas.
+    {
+      size_t start = 0;
+      std::string_view text = rest;
+      while (start < text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string_view::npos) {
+          comma = text.size();
+        }
+        std::string_view field = StripWhitespace(text.substr(start, comma - start));
+        if (!field.empty()) {
+          ops.push_back(field);
+        }
+        start = comma + 1;
+      }
+    }
+    Emit(mnemonic, ops);
+  }
+
+  void Need(const std::vector<std::string_view>& ops, size_t n) const {
+    if (ops.size() != n) {
+      Fail(StrFormat("expected %zu operands, got %zu", n, ops.size()));
+    }
+  }
+
+  void Emit(std::string_view m, const std::vector<std::string_view>& ops) {
+    // --- Pseudo-instructions ---
+    if (m == "nop") {
+      Need(ops, 0);
+      EmitWord(0);
+      return;
+    }
+    if (m == "move") {
+      Need(ops, 2);
+      EmitWord(EncodeRType(Op::kAddu, ParseReg(ops[1]), kZero, ParseReg(ops[0]), 0));
+      return;
+    }
+    if (m == "li") {
+      Need(ops, 2);
+      uint8_t rt = ParseReg(ops[0]);
+      int64_t value = ParseIntOrFail(ops[1]);
+      if (value < -(int64_t{1} << 31) || value > 0xffffffffLL) {
+        Fail("li immediate out of 32-bit range");
+      }
+      uint32_t v = static_cast<uint32_t>(value);
+      if (v <= 0xffff) {
+        EmitWord(EncodeIType(Op::kOri, kZero, rt, static_cast<uint16_t>(v)));
+      } else if (value >= -32768 && value < 0) {
+        EmitWord(EncodeIType(Op::kAddiu, kZero, rt, static_cast<uint16_t>(v & 0xffff)));
+      } else {
+        EmitWord(EncodeIType(Op::kLui, 0, rt, static_cast<uint16_t>(v >> 16)));
+        if ((v & 0xffff) != 0) {
+          EmitWord(EncodeIType(Op::kOri, rt, rt, static_cast<uint16_t>(v & 0xffff)));
+        }
+      }
+      return;
+    }
+    if (m == "la") {
+      Need(ops, 2);
+      EmitLoadAddress(ParseReg(ops[0]), ParseSymbolRef(ops[1]));
+      return;
+    }
+    if (m == "b") {
+      Need(ops, 1);
+      EmitBranch(Op::kBeq, kZero, kZero, ops[0]);
+      return;
+    }
+    if (m == "beqz") {
+      Need(ops, 2);
+      EmitBranch(Op::kBeq, ParseReg(ops[0]), kZero, ops[1]);
+      return;
+    }
+    if (m == "bnez") {
+      Need(ops, 2);
+      EmitBranch(Op::kBne, ParseReg(ops[0]), kZero, ops[1]);
+      return;
+    }
+
+    // --- Loads and stores ---
+    struct MemOp {
+      const char* name;
+      Op op;
+    };
+    static constexpr MemOp kMemOps[] = {
+        {"lb", Op::kLb}, {"lh", Op::kLh}, {"lw", Op::kLw},  {"lbu", Op::kLbu},
+        {"lhu", Op::kLhu}, {"sb", Op::kSb}, {"sh", Op::kSh}, {"sw", Op::kSw},
+    };
+    for (const MemOp& mo : kMemOps) {
+      if (m == mo.name) {
+        Need(ops, 2);
+        uint8_t rt = ParseReg(ops[0]);
+        MemOperand mem = ParseMemOperand(ops[1]);
+        if (mem.direct) {
+          EmitWord(EncodeIType(mo.op, mem.base, rt,
+                               static_cast<uint16_t>(mem.offset & 0xffff)));
+        } else {
+          // Symbol form: materialize the address in $at.
+          EmitLoadAddress(kAt, mem.ref);
+          EmitWord(EncodeIType(mo.op, kAt, rt, 0));
+        }
+        return;
+      }
+    }
+
+    // --- Three-register ALU ---
+    struct RROp {
+      const char* name;
+      Op op;
+    };
+    static constexpr RROp kRROps[] = {
+        {"add", Op::kAdd},   {"addu", Op::kAddu}, {"sub", Op::kSub}, {"subu", Op::kSubu},
+        {"and", Op::kAnd},   {"or", Op::kOr},     {"xor", Op::kXor}, {"nor", Op::kNor},
+        {"slt", Op::kSlt},   {"sltu", Op::kSltu},
+    };
+    for (const RROp& ro : kRROps) {
+      if (m == ro.name) {
+        Need(ops, 3);
+        EmitWord(EncodeRType(ro.op, ParseReg(ops[1]), ParseReg(ops[2]), ParseReg(ops[0]), 0));
+        return;
+      }
+    }
+
+    // --- Shifts ---
+    if (m == "sll" || m == "srl" || m == "sra") {
+      Need(ops, 3);
+      Op op = (m == "sll") ? Op::kSll : (m == "srl") ? Op::kSrl : Op::kSra;
+      int64_t sh = ParseIntOrFail(ops[2]);
+      if (sh < 0 || sh > 31) {
+        Fail("shift amount out of range");
+      }
+      EmitWord(EncodeRType(op, 0, ParseReg(ops[1]), ParseReg(ops[0]),
+                           static_cast<uint8_t>(sh)));
+      return;
+    }
+    if (m == "sllv" || m == "srlv" || m == "srav") {
+      Need(ops, 3);
+      Op op = (m == "sllv") ? Op::kSllv : (m == "srlv") ? Op::kSrlv : Op::kSrav;
+      EmitWord(EncodeRType(op, ParseReg(ops[2]), ParseReg(ops[1]), ParseReg(ops[0]), 0));
+      return;
+    }
+
+    // --- Immediate ALU ---
+    struct IOp {
+      const char* name;
+      Op op;
+      bool unsigned_imm;
+    };
+    static constexpr IOp kIOps[] = {
+        {"addi", Op::kAddi, false}, {"addiu", Op::kAddiu, false}, {"slti", Op::kSlti, false},
+        {"sltiu", Op::kSltiu, false}, {"andi", Op::kAndi, true},  {"ori", Op::kOri, true},
+        {"xori", Op::kXori, true},
+    };
+    for (const IOp& io : kIOps) {
+      if (m == io.name) {
+        Need(ops, 3);
+        int64_t imm = ParseIntOrFail(ops[2]);
+        if (io.unsigned_imm ? (imm < 0 || imm > 0xffff) : (imm < -32768 || imm > 32767)) {
+          Fail("immediate out of 16-bit range");
+        }
+        EmitWord(EncodeIType(io.op, ParseReg(ops[1]), ParseReg(ops[0]),
+                             static_cast<uint16_t>(imm & 0xffff)));
+        return;
+      }
+    }
+    if (m == "lui") {
+      Need(ops, 2);
+      int64_t imm = ParseIntOrFail(ops[1]);
+      if (imm < 0 || imm > 0xffff) {
+        Fail("lui immediate out of range");
+      }
+      EmitWord(EncodeIType(Op::kLui, 0, ParseReg(ops[0]), static_cast<uint16_t>(imm)));
+      return;
+    }
+
+    // --- Multiply/divide unit ---
+    if (m == "mult" || m == "multu" || m == "div" || m == "divu") {
+      Need(ops, 2);
+      Op op = (m == "mult") ? Op::kMult
+              : (m == "multu") ? Op::kMultu
+              : (m == "div") ? Op::kDiv
+                             : Op::kDivu;
+      EmitWord(EncodeRType(op, ParseReg(ops[0]), ParseReg(ops[1]), 0, 0));
+      return;
+    }
+    if (m == "mfhi" || m == "mflo") {
+      Need(ops, 1);
+      EmitWord(EncodeRType(m == "mfhi" ? Op::kMfhi : Op::kMflo, 0, 0, ParseReg(ops[0]), 0));
+      return;
+    }
+    if (m == "mthi" || m == "mtlo") {
+      Need(ops, 1);
+      EmitWord(EncodeRType(m == "mthi" ? Op::kMthi : Op::kMtlo, ParseReg(ops[0]), 0, 0, 0));
+      return;
+    }
+
+    // --- Branches ---
+    if (m == "beq" || m == "bne") {
+      Need(ops, 3);
+      EmitBranch(m == "beq" ? Op::kBeq : Op::kBne, ParseReg(ops[0]), ParseReg(ops[1]), ops[2]);
+      return;
+    }
+    if (m == "blez" || m == "bgtz" || m == "bltz" || m == "bgez") {
+      Need(ops, 2);
+      Op op = (m == "blez") ? Op::kBlez
+              : (m == "bgtz") ? Op::kBgtz
+              : (m == "bltz") ? Op::kBltz
+                              : Op::kBgez;
+      EmitBranch(op, ParseReg(ops[0]), 0, ops[1]);
+      return;
+    }
+
+    // --- Jumps ---
+    if (m == "j" || m == "jal") {
+      Need(ops, 1);
+      AddTextReloc(RelocType::kJump26, ParseSymbolRef(ops[0]));
+      EmitWord(EncodeJType(m == "j" ? Op::kJ : Op::kJal, 0));
+      return;
+    }
+    if (m == "jr") {
+      Need(ops, 1);
+      EmitWord(EncodeRType(Op::kJr, ParseReg(ops[0]), 0, 0, 0));
+      return;
+    }
+    if (m == "jalr") {
+      if (ops.size() == 1) {
+        EmitWord(EncodeRType(Op::kJalr, ParseReg(ops[0]), 0, kRa, 0));
+      } else {
+        Need(ops, 2);
+        EmitWord(EncodeRType(Op::kJalr, ParseReg(ops[1]), 0, ParseReg(ops[0]), 0));
+      }
+      return;
+    }
+
+    // --- Traps ---
+    if (m == "syscall" || m == "break") {
+      uint32_t code = 0;
+      if (ops.size() == 1) {
+        code = static_cast<uint32_t>(ParseIntOrFail(ops[0]));
+      } else {
+        Need(ops, 0);
+      }
+      EmitWord(EncodeTrap(m == "syscall" ? Op::kSyscall : Op::kBreak, code));
+      return;
+    }
+
+    // --- COP0 ---
+    if (m == "mfc0" || m == "mtc0") {
+      Need(ops, 2);
+      uint8_t rt = ParseReg(ops[0]);
+      std::string_view cr = StripWhitespace(ops[1]);
+      if (!cr.empty() && cr[0] == '$') {
+        cr.remove_prefix(1);
+      }
+      uint8_t rd;
+      if (auto named = ParseCop0Name(cr)) {
+        rd = *named;
+      } else if (!cr.empty() && cr[0] >= '0' && cr[0] <= '9') {
+        rd = static_cast<uint8_t>(ParseIntOrFail(cr));
+      } else {
+        Fail(StrFormat("bad cop0 register '%s'", std::string(cr).c_str()));
+        return;
+      }
+      EmitWord(EncodeCop0(m == "mfc0" ? Op::kMfc0 : Op::kMtc0, rt, rd));
+      return;
+    }
+    if (m == "tlbr" || m == "tlbwi" || m == "tlbwr" || m == "tlbp" || m == "rfe") {
+      Need(ops, 0);
+      Op op = (m == "tlbr") ? Op::kTlbr
+              : (m == "tlbwi") ? Op::kTlbwi
+              : (m == "tlbwr") ? Op::kTlbwr
+              : (m == "tlbp") ? Op::kTlbp
+                              : Op::kRfe;
+      EmitWord(EncodeCop0(op, 0, 0));
+      return;
+    }
+
+    Fail(StrFormat("unknown mnemonic '%s'", std::string(m).c_str()));
+  }
+
+  // ---- Branch resolution ----
+  struct BranchFixup {
+    uint32_t offset;  // Text offset of the branch instruction.
+    std::string label;
+    int line;
+  };
+
+  void ApplyBranchFixups() {
+    // Build a local symbol table (text symbols only).
+    std::map<std::string, uint32_t> text_symbols;
+    for (const Symbol& s : obj_.symbols) {
+      if (s.section == SectionId::kText) {
+        text_symbols[s.name] = s.value;
+      }
+    }
+    for (const BranchFixup& fix : branch_fixups_) {
+      auto it = text_symbols.find(fix.label);
+      if (it == text_symbols.end()) {
+        throw Error(StrFormat("%s:%d: branch to undefined or non-local label '%s'",
+                              std::string(source_name_).c_str(), fix.line, fix.label.c_str()));
+      }
+      int64_t delta = (static_cast<int64_t>(it->second) - (fix.offset + 4)) / 4;
+      if (delta < -32768 || delta > 32767) {
+        throw Error(StrFormat("%s:%d: branch to '%s' out of range", std::string(source_name_).c_str(),
+                              fix.line, fix.label.c_str()));
+      }
+      uint32_t word = obj_.TextWord(fix.offset);
+      obj_.SetTextWord(fix.offset, (word & 0xffff0000u) | (static_cast<uint32_t>(delta) & 0xffffu));
+      leaders_.insert(it->second);
+    }
+  }
+
+  // ---- Basic-block identification ----
+  void ComputeBlocks() {
+    uint32_t n_words = obj_.NumTextWords();
+    if (n_words == 0) {
+      return;
+    }
+    leaders_.insert(0);
+    for (uint32_t off = 0; off < n_words * 4; off += 4) {
+      Inst inst = Decode(obj_.TextWord(off));
+      if (EndsBasicBlock(inst.op)) {
+        // The instruction after the delay slot (or after a trap) starts a
+        // new block.
+        uint32_t next = off + (HasDelaySlot(inst.op) ? 8 : 4);
+        if (next < n_words * 4) {
+          leaders_.insert(next);
+        }
+      }
+    }
+    // Region flags: replay the per-instruction region state.  We tracked the
+    // region directives during emission via flag_changes_.
+    for (uint32_t leader : leaders_) {
+      BlockAnnotation b;
+      b.offset = leader;
+      b.flags = RegionFlagsAt(leader);
+      auto it = point_flags_.find(leader);
+      if (it != point_flags_.end()) {
+        b.flags |= it->second;
+      }
+      obj_.blocks.push_back(b);
+    }
+  }
+
+  uint32_t RegionFlagsAt(uint32_t offset) const {
+    uint32_t flags = 0;
+    for (const auto& [change_offset, change_flags] : flag_changes_) {
+      if (change_offset > offset) {
+        break;
+      }
+      flags = change_flags;
+    }
+    return flags;
+  }
+
+  std::string_view source_name_;
+  std::string_view source_;
+  int line_number_ = 0;
+
+  ObjectFile obj_;
+  SectionId section_ = SectionId::kText;
+  std::set<std::string> globals_;
+  std::set<std::string> defined_;
+  std::vector<BranchFixup> branch_fixups_;
+  std::set<uint32_t> leaders_;
+  // Region tracing flags, recorded as (text offset, flags-from-here) pairs.
+  uint32_t region_flags_rep_ = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> flag_changes_{{0, 0}};
+  // Point flags (idle start/stop) keyed by text offset.
+  std::map<uint32_t, uint32_t> point_flags_;
+
+  // Intercept region flag changes so we can replay them by offset.
+  struct RegionFlagsProxy {
+    Assembler* owner;
+    RegionFlagsProxy& operator|=(uint32_t bits) {
+      owner->region_flags_rep_ |= bits;
+      owner->flag_changes_.emplace_back(static_cast<uint32_t>(owner->obj_.text.size()),
+                                        owner->region_flags_rep_);
+      return *this;
+    }
+    RegionFlagsProxy& operator&=(uint32_t bits) {
+      owner->region_flags_rep_ &= bits;
+      owner->flag_changes_.emplace_back(static_cast<uint32_t>(owner->obj_.text.size()),
+                                        owner->region_flags_rep_);
+      return *this;
+    }
+  };
+  RegionFlagsProxy region_flags_{this};
+};
+
+}  // namespace
+
+ObjectFile Assemble(std::string_view source_name, std::string_view source) {
+  return Assembler(source_name, source).Run();
+}
+
+}  // namespace wrl

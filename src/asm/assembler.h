@@ -1,0 +1,38 @@
+// The DS32 assembler.
+//
+// Translates assembly text into EWO object files.  The dialect is classic
+// MIPS assembler syntax with explicit delay slots (no instruction
+// reordering): the kernel, the trace support library and all workloads are
+// written in it.  Beyond instructions, the assembler:
+//
+//   * resolves local branches and emits relocations (hi16/lo16/jump26/word32)
+//     for everything address-shaped, so the link-time instrumenter can do all
+//     address correction statically (paper §3.2);
+//   * identifies basic-block leaders (labels, branch targets, post-delay-slot
+//     fall-throughs) and records them as block annotations, the raw material
+//     for both epoxie and the trace-parsing library;
+//   * supports tracing-control directives for no-trace regions, hand-traced
+//     routines and the idle-loop counter markers (paper §3.3, §3.5).
+//
+// Directives: .text .data .globl .word .half .byte .ascii .asciiz .space
+// .align .notrace_on .notrace_off .handtraced_on .handtraced_off
+// .idle_start .idle_stop
+//
+// Pseudo-instructions: nop, move, li, la, b, beqz, bnez, lw/sw-with-symbol.
+#ifndef WRLTRACE_ASM_ASSEMBLER_H_
+#define WRLTRACE_ASM_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "obj/object_file.h"
+
+namespace wrl {
+
+// Assembles `source` into an object file.  `source_name` is used in
+// diagnostics.  Throws wrl::Error with file:line context on any problem.
+ObjectFile Assemble(std::string_view source_name, std::string_view source);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_ASM_ASSEMBLER_H_

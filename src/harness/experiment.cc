@@ -1,0 +1,109 @@
+#include "harness/experiment.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "trace/parser.h"
+
+namespace wrl {
+namespace {
+
+SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& options,
+                        bool tracing) {
+  SystemConfig config;
+  config.personality = options.personality;
+  config.tracing = tracing;
+  config.clock_period = tracing
+                            ? options.clock_period * static_cast<uint32_t>(options.dilation)
+                            : options.clock_period;
+  config.program_source = workload.source;
+  config.program_name = workload.name;
+  config.files = workload.files;
+  config.trace_buf_bytes = options.trace_buf_bytes;
+  if (options.personality == Personality::kMach) {
+    config.policy = PagePolicy::kScrambled;
+    config.policy_mult = 9;
+  }
+  return config;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOptions& options) {
+  ExperimentResult result;
+  result.workload = workload.name;
+  result.personality = options.personality;
+
+  // ---- Measured: the uninstrumented system with the hardware timer ----
+  auto measured = BuildSystem(MakeConfig(workload, options, false));
+  auto [idle_lo, idle_hi] = measured->IdleRange();
+  measured->machine().SetIdleRange(idle_lo, idle_hi);
+  RunResult mr = measured->Run(options.max_instructions);
+  if (!mr.halted) {
+    throw Error(StrFormat("measured run of '%s' did not halt (pc=0x%08x)",
+                          workload.name.c_str(), measured->machine().pc()));
+  }
+  result.measured_cycles = measured->ProcessCycles(1);
+  result.measured_utlb = measured->UtlbMissCount();
+  result.measured_idle_instructions = measured->machine().idle_instructions();
+  result.measured_tlbdropins = measured->TlbDropins();
+  result.measured_user_instructions = measured->machine().user_instructions();
+  result.exit_code = measured->ProcessExitCode(1);
+
+  // ---- Predicted: the traced system driving the analysis program ----
+  auto traced = BuildSystem(MakeConfig(workload, options, true));
+
+  PredictorConfig pconfig;
+  pconfig.dilation = options.dilation;
+  // Page mapping (paper §4.2): the simulator implements the policy.  Under
+  // the deterministic policy this reproduces the measured run's map; under
+  // Mach's random policy it is *a* mapping with the right distribution but
+  // different draws — the repeatability problem the paper reports.
+  if (options.personality == Personality::kMach) {
+    pconfig.page_map = measured->PageMap(13);  // Different permutation draw.
+  } else {
+    pconfig.page_map = measured->PageMap();
+  }
+  TraceDrivenSimulator simulator(pconfig);
+  // Original binaries, for the pixie-style arithmetic-stall estimate.
+  simulator.AddTextImage(measured->kernel_exe());
+  simulator.AddTextImage(measured->workload_orig());
+
+  TraceParser parser(&traced->kernel_table());
+  parser.SetUserTable(1, &traced->user_table());
+  if (options.personality == Personality::kMach) {
+    parser.SetUserTable(2, &traced->server_table());
+  }
+  parser.SetInitialContext(kKernelPid);
+  parser.SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
+  traced->SetTraceSink(
+      [&parser](const uint32_t* words, size_t count) { parser.Feed(words, count); });
+
+  RunResult tr = traced->Run(options.max_instructions);
+  if (!tr.halted) {
+    throw Error(StrFormat("traced run of '%s' did not halt (pc=0x%08x)", workload.name.c_str(),
+                          traced->machine().pc()));
+  }
+  parser.Finish();
+  result.prediction = simulator.Finish();
+  result.traced_machine_instructions = traced->machine().instructions();
+  result.trace_words = traced->trace_words_drained();
+  result.parser_errors = parser.stats().validation_errors;
+  result.analysis_switches = traced->AnalysisSwitches();
+  if (traced->ProcessExitCode(1) != result.exit_code) {
+    throw Error(StrFormat("'%s': traced exit code %u != measured %u — tracing distorted behavior",
+                          workload.name.c_str(), traced->ProcessExitCode(1), result.exit_code));
+  }
+  return result;
+}
+
+std::vector<ExperimentResult> RunSuite(const std::vector<WorkloadSpec>& workloads,
+                                       const ExperimentOptions& options) {
+  std::vector<ExperimentResult> results;
+  results.reserve(workloads.size());
+  for (const WorkloadSpec& w : workloads) {
+    results.push_back(RunExperiment(w, options));
+  }
+  return results;
+}
+
+}  // namespace wrl

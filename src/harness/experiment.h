@@ -1,0 +1,70 @@
+// The validation experiments (paper §5): run each workload twice —
+// uninstrumented on the timing machine (*measured*) and instrumented with
+// the trace feeding the analysis program (*predicted*) — and compare.
+//
+//   Table 2 / Figure 3: execution times, measured vs predicted
+//   Table 3:            user TLB miss counts, measured vs predicted
+#ifndef WRLTRACE_HARNESS_EXPERIMENT_H_
+#define WRLTRACE_HARNESS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "kernel/system_build.h"
+#include "sim/predictor.h"
+#include "workloads/workloads.h"
+
+namespace wrl {
+
+struct ExperimentOptions {
+  Personality personality = Personality::kUltrix;
+  // Untraced clock period; the traced system runs it at 1/15th the rate
+  // (paper §4.1).
+  uint32_t clock_period = 200000;
+  double dilation = 15.0;
+  uint32_t trace_buf_bytes = 16u << 20;
+  uint64_t max_instructions = 3'000'000'000;
+  // Simulated clock frequency used only to render cycles as seconds.
+  double clock_hz = 25e6;
+};
+
+struct ExperimentResult {
+  std::string workload;
+  Personality personality = Personality::kUltrix;
+
+  // Measured (uninstrumented run, hardware timer + kernel counters).
+  uint64_t measured_cycles = 0;
+  uint64_t measured_utlb = 0;
+  uint64_t measured_idle_instructions = 0;
+  uint64_t measured_tlbdropins = 0;
+  uint64_t measured_user_instructions = 0;
+  uint32_t exit_code = 0;
+
+  // Predicted (trace-driven simulation).
+  Prediction prediction;
+  uint64_t traced_machine_instructions = 0;
+  uint64_t trace_words = 0;
+  uint64_t parser_errors = 0;
+  uint64_t analysis_switches = 0;
+
+  double MeasuredSeconds(double hz) const { return static_cast<double>(measured_cycles) / hz; }
+  double PredictedSeconds(double hz) const { return prediction.PredictedCycles() / hz; }
+  double TimeErrorPercent() const {
+    if (measured_cycles == 0) {
+      return 0;
+    }
+    return 100.0 * (prediction.PredictedCycles() - static_cast<double>(measured_cycles)) /
+           static_cast<double>(measured_cycles);
+  }
+};
+
+// Runs one workload through both systems.
+ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOptions& options);
+
+// Runs the full Table 2 / Table 3 suite for one personality.
+std::vector<ExperimentResult> RunSuite(const std::vector<WorkloadSpec>& workloads,
+                                       const ExperimentOptions& options);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_HARNESS_EXPERIMENT_H_

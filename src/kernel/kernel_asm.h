@@ -1,0 +1,44 @@
+// The WRTX kernel: the traced operating system of the reproduction.
+//
+// One DS32 assembly image implements both personalities:
+//   * "ultrix"  — monolithic: file syscalls (open/close/read/write) are
+//     handled in the kernel, with a buffer cache, one-block read-ahead,
+//     conservative (synchronous write-through) file writes, and explicit
+//     tlbdropin() TLB preloads after copyouts;
+//   * "mach"    — microkernel: file syscalls become IPC round-trips through
+//     a user-level UNIX server; the microkernel provides messages, device
+//     block I/O for the server, cross-address-space copies, and
+//     tlb_map_random() explicit TLB writes.
+//
+// Tracing architecture (paper §3.1/§3.3):
+//   * the exception entry stub (hand-written, never traced) drains the
+//     per-process user trace buffer into the in-kernel buffer on every
+//     kernel entry — preserving the global interleaving — and brackets
+//     kernel activity with KERNEL_ENTER/KERNEL_EXIT markers;
+//   * nested exceptions stack their trace state on the kernel stack; on
+//     return to kernel context the trace pointer is reloaded from the
+//     authoritative global, not the stacked copy;
+//   * kernel code is itself instrumented by epoxie; the delicate parts
+//     (vectors, entry/exit stubs, the UTLB refill handler, the trace-flush
+//     and analysis-mode paths, boot) sit in .notrace regions;
+//   * when the in-kernel buffer fills, the system switches to
+//     trace-analysis mode: the host-side analysis program drains the buffer
+//     through the HOSTCALL port, the kernel busy-waits out the analysis
+//     cost with interrupts enabled, and any activity in that window (e.g. a
+//     disk completion) is discarded to a scratch area — the paper's "dirt";
+//   * the UTLB refill handler maintains the user-TLB miss counter that
+//     provides Table 3's measured side, and is deliberately *not* traced:
+//     TLB behavior of the original binary is simulated instead (§4.1).
+#ifndef WRLTRACE_KERNEL_KERNEL_ASM_H_
+#define WRLTRACE_KERNEL_KERNEL_ASM_H_
+
+#include <string>
+
+namespace wrl {
+
+// Returns the complete kernel assembly source.
+std::string KernelAsm();
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_KERNEL_KERNEL_ASM_H_

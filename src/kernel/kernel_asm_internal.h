@@ -1,0 +1,22 @@
+// Internal decomposition of the kernel assembly generator.
+#ifndef WRLTRACE_KERNEL_KERNEL_ASM_INTERNAL_H_
+#define WRLTRACE_KERNEL_KERNEL_ASM_INTERNAL_H_
+
+#include <string>
+
+namespace wrl {
+
+// Part 1 (kernel_asm.cc): vectors, entry/exit stubs, trace flush and
+// analysis mode, boot, VM plumbing, dispatch, scheduler, interrupts.
+std::string KernelCoreAsm();
+// Part 2 (kernel_sys_asm.cc): syscall handlers, filesystem + buffer cache,
+// disk driver, IPC, Mach forwarding, kernel data/bss.
+std::string KernelSysAsm();
+
+// Replaces every occurrence of %NAME% placeholders with the layout
+// constants (see kernel_asm.cc for the table).
+std::string SubstituteKernelConstants(std::string text);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_KERNEL_KERNEL_ASM_INTERNAL_H_

@@ -1,0 +1,1442 @@
+#include <string>
+
+#include "kernel/kernel_asm_internal.h"
+
+namespace wrl {
+
+// Part 2 of the kernel: syscall dispatch and handlers, the flat filesystem
+// with its buffer cache and one-block read-ahead, the interrupt-driven disk
+// driver, Mach-personality IPC and forwarding, and kernel data.
+//
+// Register discipline in traced kernel code: t0-t6/a/v are scratch, s0-s7
+// usable in syscall context (full PCB save), never t7/t8/t9 (the stolen
+// tracing registers), never k0/k1 (stub/UTLB property).  Syscall handlers
+// run with s0 = current PCB.
+std::string KernelSysAsm() {
+  std::string s;
+
+  // ===== Syscall dispatch ================================================
+  s += R"(
+# ===== Syscalls ===========================================================
+sys_dispatch:
+        la   $s0, cur_pcb
+        lw   $s0, 0($s0)
+        lw   $t0, 128($s0)
+        addiu $t0, $t0, 4
+        sw   $t0, 128($s0)       # return past the syscall by default
+        lw   $t0, 8($s0)         # v0 = syscall number
+        li   $t1, 1
+        beq  $t0, $t1, sys_exit
+        nop
+        li   $t1, 2
+        beq  $t0, $t1, sys_write
+        nop
+        li   $t1, 3
+        beq  $t0, $t1, sys_read
+        nop
+        li   $t1, 4
+        beq  $t0, $t1, sys_open
+        nop
+        li   $t1, 5
+        beq  $t0, $t1, sys_close
+        nop
+        li   $t1, 6
+        beq  $t0, $t1, sys_sbrk
+        nop
+        li   $t1, 7
+        beq  $t0, $t1, sys_gettime
+        nop
+        li   $t1, 8
+        beq  $t0, $t1, sys_getpid
+        nop
+        li   $t1, 9
+        beq  $t0, $t1, sys_utlbcount
+        nop
+        li   $t1, 10
+        beq  $t0, $t1, sys_yield
+        nop
+        li   $t1, 12
+        beq  $t0, $t1, sys_msgsend
+        nop
+        li   $t1, 13
+        beq  $t0, $t1, sys_msgrecv
+        nop
+        li   $t1, 14
+        beq  $t0, $t1, sys_devdiskread
+        nop
+        li   $t1, 15
+        beq  $t0, $t1, sys_devdiskwrite
+        nop
+        li   $t1, 16
+        beq  $t0, $t1, sys_vmcopy
+        nop
+        j    fault_kill          # unknown syscall
+        nop
+
+# --- helpers shared by blocking handlers ---------------------------------
+# Restart-block on the disk: save progress, back the PC up to re-execute
+# the syscall when the disk completes, and reschedule.
+#   a0 = progress value to save
+blk_disk_restart:
+        sw   $a0, 176($s0)       # op_progress
+        li   $t0, 1
+        sw   $t0, 180($s0)       # in_restart
+        lw   $t0, 128($s0)
+        addiu $t0, $t0, -4
+        sw   $t0, 128($s0)       # re-execute the syscall on wake
+        li   $t0, 3
+        sw   $t0, 136($s0)       # blocked
+        li   $t0, 1
+        sw   $t0, 172($s0)       # channel: disk
+        j    schedule
+        nop
+
+# Finish a syscall normally: v0 in a0.
+sys_return:
+        sw   $a0, 8($s0)
+        sw   $zero, 180($s0)     # clear restart state
+        sw   $zero, 176($s0)
+        j    exc_exit
+        nop
+
+# --- exit ----------------------------------------------------------------
+sys_exit:
+        lw   $a1, 16($s0)        # exit code = user a0
+        move $a0, $s0
+        j    proc_exit
+        nop
+
+        .globl proc_exit
+proc_exit:
+        li   $t0, 4
+        sw   $t0, 136($a0)       # zombie
+        sw   $a1, 192($a0)
+        li   $t0, %DEVBASE%
+        lw   $t1, 0x08($t0)
+        sw   $t1, 188($a0)       # end cycles
+        # Shutdown when every non-server process is a zombie.
+        la   $t0, nprocs
+        lw   $t0, 0($t0)
+        la   $t1, server_pid
+        lw   $t1, 0($t1)
+        la   $t2, pcb_table
+        li   $t3, 0              # index
+pe_scan:
+        sltu $t4, $t3, $t0
+        beq  $t4, $zero, kernel_shutdown
+        nop
+        sll  $t4, $t3, 8
+        addu $t4, $t2, $t4
+        lw   $t5, 140($t4)       # pid
+        beq  $t5, $t1, pe_next   # the server does not block shutdown
+        nop
+        lw   $t5, 136($t4)
+        li   $t6, 4
+        bne  $t5, $t6, pe_alive
+        nop
+pe_next:
+        b    pe_scan
+        addiu $t3, $t3, 1
+pe_alive:
+        la   $t0, cur_pcb
+        sw   $zero, 0($t0)
+        j    schedule
+        nop
+
+        .notrace_on
+kernel_shutdown:
+        # Final stats block for the host (see kernel_config.h).
+        li   $t0, %STATS%
+        li   $t1, %STATSMAGIC%
+        sw   $t1, 0($t0)
+        la   $t1, kstat
+        lw   $t2, 4($t1)
+        sw   $t2, 4($t0)         # utlb misses
+        lw   $t2, 8($t1)
+        sw   $t2, 8($t0)         # tlbdropin / tlb_map_random
+        lw   $t2, 12($t1)
+        sw   $t2, 12($t0)        # ktlb refills
+        la   $t1, ticks
+        lw   $t2, 0($t1)
+        sw   $t2, 16($t0)
+        la   $t1, cswitch_count
+        lw   $t2, 0($t1)
+        sw   $t2, 20($t0)
+        la   $t1, kstat
+        lw   $t2, 16($t1)
+        sw   $t2, 28($t0)        # analysis mode switches
+        # Per-process records at +32 + pid*16.
+        la   $t1, nprocs
+        lw   $t1, 0($t1)
+        la   $t2, pcb_table
+        li   $t3, 0
+ks_loop:
+        sltu $t4, $t3, $t1
+        beq  $t4, $zero, ks_done
+        nop
+        sll  $t4, $t3, 8
+        addu $t4, $t2, $t4
+        addiu $t5, $t3, 1
+        sll  $t5, $t5, 4
+        addu $t5, $t5, $t0
+        addiu $t5, $t5, 16       # +32 + pid*16 = +16 + (idx+1)*16
+        lw   $t6, 184($t4)
+        sw   $t6, 0($t5)
+        lw   $t6, 188($t4)
+        sw   $t6, 4($t5)
+        lw   $t6, 192($t4)
+        sw   $t6, 8($t5)
+        lw   $t6, 136($t4)
+        sw   $t6, 12($t5)
+        b    ks_loop
+        addiu $t3, $t3, 1
+ks_done:
+        # Sync the trace pointer so the host can take the final drain.
+        la   $t1, tracing_on
+        lw   $t1, 0($t1)
+        beq  $t1, $zero, ks_halt
+        nop
+        la   $t1, ktrace_ptr
+        sw   $t8, 0($t1)
+ks_halt:
+        li   $t1, %DEVBASE%
+        sw   $zero, 4($t1)       # halt(0)
+        nop
+ks_spin:
+        b    ks_spin
+        nop
+        .notrace_off
+
+# --- write ---------------------------------------------------------------
+sys_write:
+        lw   $t0, 16($s0)        # fd
+        li   $t1, 1
+        beq  $t0, $t1, sw_console
+        nop
+        la   $t1, personality
+        lw   $t1, 0($t1)
+        bne  $t1, $zero, forward_fs
+        nop
+        j    fs_write
+        nop
+sw_console:
+        lw   $t1, 20($s0)        # buf
+        lw   $t2, 24($s0)        # len
+        li   $t3, %DEVBASE%
+        beq  $t2, $zero, swc_done
+        nop
+swc_loop:
+        lbu  $t4, 0($t1)
+        sw   $t4, 0($t3)
+        addiu $t1, $t1, 1
+        addiu $t2, $t2, -1
+        bne  $t2, $zero, swc_loop
+        nop
+swc_done:
+        lw   $a0, 24($s0)
+        j    sys_return
+        nop
+
+# --- read ----------------------------------------------------------------
+sys_read:
+        lw   $t0, 16($s0)
+        sltiu $t1, $t0, 3
+        bne  $t1, $zero, sr_badfd
+        nop
+        la   $t1, personality
+        lw   $t1, 0($t1)
+        bne  $t1, $zero, forward_fs
+        nop
+        j    fs_read
+        nop
+sr_badfd:
+        addiu $a0, $zero, -1
+        j    sys_return
+        nop
+
+# --- open / close --------------------------------------------------------
+sys_open:
+        la   $t1, personality
+        lw   $t1, 0($t1)
+        bne  $t1, $zero, forward_fs
+        nop
+        j    fs_open
+        nop
+sys_close:
+        la   $t1, personality
+        lw   $t1, 0($t1)
+        bne  $t1, $zero, forward_fs
+        nop
+        j    fs_close
+        nop
+
+# --- sbrk ----------------------------------------------------------------
+sys_sbrk:
+        lw   $s1, 152($s0)       # old brk
+        lw   $t0, 16($s0)        # increment
+        addu $s2, $s1, $t0       # new brk
+        lw   $t1, 156($s0)       # heap limit
+        sltu $t2, $t1, $s2
+        beq  $t2, $zero, sb_ok
+        nop
+        addiu $a0, $zero, -1
+        j    sys_return
+        nop
+sb_ok:
+        # Map pages in [pageup(old brk), pageup(new brk)).
+        addiu $t0, $s1, 4095
+        srl  $s3, $t0, 12        # first unmapped vpn
+        addiu $t0, $s2, 4095
+        srl  $s4, $t0, 12        # one past last needed vpn
+sb_loop:
+        sltu $t0, $s3, $s4
+        beq  $t0, $zero, sb_done
+        nop
+        # Pick the frame by the page-mapping policy.
+        lw   $t0, 168($s0)       # heap pages used (allocation counter)
+        la   $t1, page_policy
+        lw   $t1, 0($t1)
+        beq  $t1, $zero, sb_linear
+        nop
+        # Scrambled (Mach's random mapping): perm(i) = (i*mult) % pages.
+        la   $t1, policy_mult
+        lw   $t1, 0($t1)
+        mult $t0, $t1
+        mflo $t1
+        lw   $t2, 164($s0)       # region pages
+        divu $t1, $t2
+        mfhi $t1                 # (i*mult) mod pages
+        b    sb_have_offset
+        nop
+sb_linear:
+        move $t1, $t0
+sb_have_offset:
+        lw   $t2, 160($s0)       # region base page
+        addu $t1, $t2, $t1       # pfn
+        addiu $t0, $t0, 1
+        sw   $t0, 168($s0)
+        # Zero the frame through kseg0.
+        sll  $t2, $t1, 12
+        lui  $t3, 0x8000
+        or   $t2, $t2, $t3
+        addiu $t3, $t2, 4096
+sb_zero:
+        sw   $zero, 0($t2)
+        addiu $t2, $t2, 4
+        bne  $t2, $t3, sb_zero
+        nop
+        # map_page(pid, vpn | writable, pfn).
+        lw   $a0, 140($s0)
+        lui  $t0, 0x0100
+        or   $a1, $s3, $t0
+        move $a2, $t1
+        jal  map_page
+        nop
+        b    sb_loop
+        addiu $s3, $s3, 1
+sb_done:
+        sw   $s2, 152($s0)
+        move $a0, $s1
+        j    sys_return
+        nop
+
+# --- trivial syscalls ----------------------------------------------------
+sys_gettime:
+        li   $t0, %DEVBASE%
+        lw   $a0, 0x08($t0)      # CYCLE_LO
+        lw   $t1, 0x0c($t0)      # CYCLE_HI
+        sw   $t1, 12($s0)        # v1
+        j    sys_return
+        nop
+sys_getpid:
+        lw   $a0, 140($s0)
+        j    sys_return
+        nop
+sys_utlbcount:
+        la   $t0, kstat
+        lw   $a0, 4($t0)
+        j    sys_return
+        nop
+sys_yield:
+        li   $t0, 1
+        sw   $t0, 136($s0)
+        move $a0, $s0
+        jal  ready_enqueue
+        nop
+        li   $a0, 0
+        sw   $a0, 8($s0)
+        j    schedule
+        nop
+)";
+
+  // ===== Filesystem (Ultrix personality) ================================
+  s += R"(
+# ===== Flat filesystem + buffer cache (monolithic personality) ===========
+# Directory: 16 entries of 32 bytes in sector 0, cached at boot in fs_dir.
+# Blocks are 4 KB (8 sectors).  Misses DMA into the bounce buffer and are
+# installed into the cache; a one-block read-ahead is chained from the disk
+# interrupt (the paper's read-ahead distortion source, 5.1).  File writes
+# are synchronous write-through — Ultrix's "conservative write policy".
+
+# fd slot address for fd in t0 (3 or 4) -> v1; garbage fd -> branch taken.
+fs_fd_slot:
+        addiu $t1, $t0, -3
+        sltiu $t2, $t1, 2
+        beq  $t2, $zero, fsfd_bad
+        nop
+        sll  $t1, $t1, 3
+        addiu $t1, $t1, 196
+        addu $v1, $s0, $t1
+        jr   $ra
+        nop
+fsfd_bad:
+        addiu $a0, $zero, -1
+        j    sys_return
+        nop
+
+# --- fs_open: a0 slot has the user name pointer --------------------------
+fs_open:
+        lw   $s1, 16($s0)        # user name ptr
+        la   $s2, fs_dir
+        li   $s3, 0              # entry index
+fso_scan:
+        sltiu $t0, $s3, 16
+        beq  $t0, $zero, fso_notfound
+        nop
+        sll  $t0, $s3, 5
+        addu $s4, $s2, $t0       # dir entry
+        lb   $t0, 0($s4)
+        beq  $t0, $zero, fso_next  # empty entry
+        nop
+        # Compare names (NUL-terminated, max 24).
+        move $t1, $s1            # user
+        move $t2, $s4            # dir
+fso_cmp:
+        lbu  $t3, 0($t1)
+        lbu  $t4, 0($t2)
+        bne  $t3, $t4, fso_next
+        nop
+        beq  $t3, $zero, fso_found
+        nop
+        addiu $t1, $t1, 1
+        b    fso_cmp
+        addiu $t2, $t2, 1
+fso_next:
+        b    fso_scan
+        addiu $s3, $s3, 1
+fso_notfound:
+        addiu $a0, $zero, -1
+        j    sys_return
+        nop
+fso_found:
+        # Allocate fd 3 or 4.
+        lw   $t0, 196($s0)
+        beq  $t0, $zero, fso_fd3
+        nop
+        lw   $t0, 204($s0)
+        beq  $t0, $zero, fso_fd4
+        nop
+        addiu $a0, $zero, -1
+        j    sys_return
+        nop
+fso_fd3:
+        addiu $t0, $s3, 1
+        sw   $t0, 196($s0)
+        sw   $zero, 200($s0)
+        li   $a0, 3
+        j    sys_return
+        nop
+fso_fd4:
+        addiu $t0, $s3, 1
+        sw   $t0, 204($s0)
+        sw   $zero, 208($s0)
+        li   $a0, 4
+        j    sys_return
+        nop
+
+fs_close:
+        lw   $t0, 16($s0)
+        jal  fs_fd_slot
+        nop
+        sw   $zero, 0($v1)
+        li   $a0, 0
+        j    sys_return
+        nop
+
+# --- fs_read: fd, buf, len ------------------------------------------------
+fs_read:
+        lw   $t0, 16($s0)
+        jal  fs_fd_slot
+        nop
+        move $s1, $v1            # fd slot
+        lw   $t0, 0($s1)         # file index + 1
+        beq  $t0, $zero, fsfd_bad
+        nop
+        addiu $t0, $t0, -1
+        sll  $t0, $t0, 5
+        la   $t1, fs_dir
+        addu $t1, $t1, $t0       # dir entry
+        lw   $s2, 24($t1)        # start sector
+        sll  $s2, $s2, 9         # absolute start byte on disk
+        lw   $s3, 28($t1)        # file length
+        lw   $s6, 4($s1)         # position
+        # remaining = min(len, filelen - pos)
+        subu $t0, $s3, $s6
+        lw   $t1, 24($s0)        # len
+        sltu $t2, $t0, $t1
+        beq  $t2, $zero, fsr_len_ok
+        nop
+        move $t1, $t0
+fsr_len_ok:
+        blez $t1, fsr_zero
+        nop
+        move $s3, $t1            # s3 = remaining
+        lw   $s5, 20($s0)        # user buffer
+        # progress (restart-aware)
+        lw   $t0, 180($s0)
+        beq  $t0, $zero, fsr_fresh
+        nop
+        lw   $s4, 176($s0)
+        b    fsr_loop
+        nop
+fsr_fresh:
+        li   $s4, 0
+fsr_loop:
+        sltu $t0, $s4, $s3
+        beq  $t0, $zero, fsr_done
+        nop
+        # absolute byte = file start + pos + progress
+        addu $t0, $s6, $s4
+        addu $t0, $s2, $t0
+        srl  $s7, $t0, 12        # disk block index
+        andi $t1, $t0, 0xfff     # offset in block
+        # chunk = min(4096 - off, remaining - progress)
+        li   $t2, 4096
+        subu $t2, $t2, $t1
+        subu $t3, $s3, $s4
+        sltu $t4, $t3, $t2
+        beq  $t4, $zero, fsr_chunk_ok
+        nop
+        move $t2, $t3
+fsr_chunk_ok:
+        # Find the block in the cache.
+        move $a0, $s7
+        jal  cache_find
+        nop
+        bltz $v0, fsr_miss
+        nop
+        # Recompute offset and chunk (cache_find clobbered the temps).
+        addu $t0, $s6, $s4
+        addu $t0, $s2, $t0
+        andi $t1, $t0, 0xfff
+        li   $t2, 4096
+        subu $t2, $t2, $t1
+        subu $t3, $s3, $s4
+        sltu $t4, $t3, $t2
+        beq  $t4, $zero, fsr_copy_setup
+        nop
+        move $t2, $t3
+fsr_copy_setup:
+        # Copy chunk: cache_data[slot] + off -> user buf + progress.
+        sll  $t0, $v0, 12
+        la   $t3, cache_data
+        addu $t0, $t3, $t0
+        addu $t0, $t0, $t1       # src
+        addu $t3, $s5, $s4       # dst (user VA)
+        move $t4, $t2
+fsr_copy:
+        lbu  $t5, 0($t0)
+        sb   $t5, 0($t3)
+        addiu $t0, $t0, 1
+        addiu $t3, $t3, 1
+        addiu $t4, $t4, -1
+        bne  $t4, $zero, fsr_copy
+        nop
+        b    fsr_loop
+        addu $s4, $s4, $t2
+fsr_miss:
+        move $a0, $s7
+        jal  cache_fill_or_block  # returns only when the block is cached
+        nop
+        b    fsr_loop
+        nop
+fsr_done:
+        addu $s6, $s6, $s3
+        sw   $s6, 4($s1)         # new position
+        # Explicit TLB preload of the last user page touched (tlbdropin).
+        addu $a0, $s5, $s3
+        addiu $a0, $a0, -1
+        jal  tlbdropin
+        nop
+        move $a0, $s3
+        j    sys_return
+        nop
+fsr_zero:
+        li   $a0, 0
+        j    sys_return
+        nop
+
+# --- cache_fill_or_block: a0 = disk block index ---------------------------
+# Installs the block into the cache from the read-ahead buffer or bounce
+# buffer if present; otherwise issues a disk read and restart-blocks.
+cache_fill_or_block:
+        addiu $sp, $sp, -8
+        sw   $ra, 4($sp)
+        sw   $a0, 0($sp)
+        # Read-ahead buffer?
+        la   $t0, ra_sector
+        lw   $t0, 0($t0)
+        sll  $t1, $a0, 3         # sector = block * 8
+        bne  $t0, $t1, cfb_try_bounce
+        nop
+        la   $a1, ra_buf
+        jal  cache_install
+        nop
+        lw   $ra, 4($sp)
+        jr   $ra
+        addiu $sp, $sp, 8
+cfb_try_bounce:
+        la   $t0, bounce_sector
+        lw   $t0, 0($t0)
+        bne  $t0, $t1, cfb_disk
+        nop
+        la   $t0, bounce_is_read
+        lw   $t0, 0($t0)
+        beq  $t0, $zero, cfb_disk
+        nop
+        la   $a1, bounce_buf
+        jal  cache_install
+        nop
+        lw   $ra, 4($sp)
+        jr   $ra
+        addiu $sp, $sp, 8
+cfb_disk:
+        la   $t0, disk_busy
+        lw   $t0, 0($t0)
+        bne  $t0, $zero, cfb_wait
+        nop
+        # Issue the read into the bounce buffer; remember a read-ahead
+        # candidate for the interrupt handler to chain.
+        lw   $a0, 0($sp)
+        sll  $a0, $a0, 3         # sector
+        li   $a1, 8              # sectors per block
+        la   $a2, bounce_buf
+        lui  $t0, 0x8000
+        xor  $a2, $a2, $t0       # phys
+        li   $a3, 4              # op: bounce fill
+        jal  disk_submit
+        nop
+        lw   $t0, 0($sp)
+        addiu $t0, $t0, 1
+        sll  $t0, $t0, 3
+        la   $t1, ra_candidate
+        sw   $t0, 0($t1)
+cfb_wait:
+        move $a0, $s4            # preserve the caller's loop progress
+        j    blk_disk_restart
+        nop
+
+# --- cache_find: a0 = block -> v0 = slot or -1 ----------------------------
+cache_find:
+        la   $t0, cache_hdr
+        li   $v0, 0
+cf_loop:
+        sltiu $t1, $v0, 16
+        beq  $t1, $zero, cf_miss
+        nop
+        sll  $t1, $v0, 3
+        addu $t1, $t0, $t1
+        lw   $t2, 0($t1)         # block number (0 = free)
+        bne  $t2, $a0, cf_next
+        nop
+        lw   $t2, 4($t1)         # state: 1 = valid
+        li   $t3, 1
+        beq  $t2, $t3, cf_hit
+        nop
+cf_next:
+        b    cf_loop
+        addiu $v0, $v0, 1
+cf_miss:
+        addiu $v0, $zero, -1
+        jr   $ra
+        nop
+cf_hit:
+        jr   $ra
+        nop
+
+# --- cache_install: a0 = block, a1 = source (kseg0 4KB) -> v0 = slot -----
+cache_install:
+        # Round-robin victim.
+        la   $t0, cache_hand
+        lw   $v0, 0($t0)
+        addiu $t1, $v0, 1
+        andi $t1, $t1, 15
+        sw   $t1, 0($t0)
+        la   $t0, cache_hdr
+        sll  $t1, $v0, 3
+        addu $t0, $t0, $t1
+        sw   $a0, 0($t0)
+        li   $t1, 1
+        sw   $t1, 4($t0)
+        # Copy 1024 words.
+        sll  $t0, $v0, 12
+        la   $t1, cache_data
+        addu $t0, $t1, $t0       # dst
+        move $t1, $a1            # src
+        addiu $t2, $t0, 4096
+ci_copy:
+        lw   $t3, 0($t1)
+        sw   $t3, 0($t0)
+        addiu $t0, $t0, 4
+        addiu $t1, $t1, 4
+        bne  $t0, $t2, ci_copy
+        nop
+        jr   $ra
+        nop
+
+# --- fs_write: fd, buf, len ------------------------------------------------
+# Write-through: each touched block is updated in the cache and immediately
+# written to disk before the syscall completes (conservative policy).
+fs_write:
+        lw   $t0, 16($s0)
+        jal  fs_fd_slot
+        nop
+        move $s1, $v1
+        lw   $t0, 0($s1)
+        beq  $t0, $zero, fsfd_bad
+        nop
+        addiu $t0, $t0, -1
+        sll  $t0, $t0, 5
+        la   $t1, fs_dir
+        addu $t1, $t1, $t0
+        lw   $s2, 24($t1)
+        sll  $s2, $s2, 9         # file start byte
+        lw   $s3, 28($t1)        # file length (fixed allocation)
+        lw   $s6, 4($s1)         # position
+        subu $t0, $s3, $s6
+        lw   $t1, 24($s0)
+        sltu $t2, $t0, $t1
+        beq  $t2, $zero, fsw_len_ok
+        nop
+        move $t1, $t0
+fsw_len_ok:
+        blez $t1, fsw_zero
+        nop
+        move $s3, $t1            # remaining
+        lw   $s5, 20($s0)        # user buffer
+        lw   $t0, 180($s0)
+        beq  $t0, $zero, fsw_fresh
+        nop
+        lw   $s4, 176($s0)
+        b    fsw_loop
+        nop
+fsw_fresh:
+        li   $s4, 0
+fsw_loop:
+        sltu $t0, $s4, $s3
+        beq  $t0, $zero, fsw_done
+        nop
+        addu $t0, $s6, $s4
+        addu $t0, $s2, $t0
+        srl  $s7, $t0, 12        # block
+        andi $t1, $t0, 0xfff
+        li   $t2, 4096
+        subu $t2, $t2, $t1
+        subu $t3, $s3, $s4
+        sltu $t4, $t3, $t2
+        beq  $t4, $zero, fsw_chunk_ok
+        nop
+        move $t2, $t3
+fsw_chunk_ok:
+        # Flush already acknowledged for this block?  Then this chunk is
+        # done (the cache was updated before the write was issued).
+        la   $t0, wdone_sector
+        lw   $t0, 0($t0)
+        sll  $t3, $s7, 3
+        bne  $t0, $t3, fsw_ensure
+        nop
+        la   $t0, wdone_sector
+        addiu $t3, $zero, -1
+        sw   $t3, 0($t0)
+        b    fsw_loop
+        addu $s4, $s4, $t2
+fsw_ensure:
+        move $a0, $s7
+        jal  cache_find
+        nop
+        bgez $v0, fsw_cached
+        nop
+        move $a0, $s7
+        jal  cache_fill_or_block  # read-modify-write needs the old block
+        nop
+fsw_cached:
+        # Recompute offset and chunk (helper calls clobbered the temps).
+        addu $t0, $s6, $s4
+        addu $t0, $s2, $t0
+        andi $t1, $t0, 0xfff
+        li   $t2, 4096
+        subu $t2, $t2, $t1
+        subu $t3, $s3, $s4
+        sltu $t4, $t3, $t2
+        beq  $t4, $zero, fsw_copy_setup
+        nop
+        move $t2, $t3
+fsw_copy_setup:
+        # Update the cached block from the user buffer.
+        sll  $t0, $v0, 12
+        la   $t3, cache_data
+        addu $t0, $t3, $t0
+        addu $t0, $t0, $t1       # dst in cache
+        addu $t3, $s5, $s4       # src (user VA)
+        move $t4, $t2
+fsw_copy:
+        lbu  $t5, 0($t3)
+        sb   $t5, 0($t0)
+        addiu $t0, $t0, 1
+        addiu $t3, $t3, 1
+        addiu $t4, $t4, -1
+        bne  $t4, $zero, fsw_copy
+        nop
+        # Write the whole block through to disk via the bounce buffer.
+        la   $t0, disk_busy
+        lw   $t0, 0($t0)
+        bne  $t0, $zero, fsw_wait
+        nop
+        sll  $t0, $v0, 12
+        la   $t1, cache_data
+        addu $t0, $t1, $t0       # src: cache block
+        la   $t1, bounce_buf
+        addiu $t3, $t0, 4096
+fsw_bcopy:
+        lw   $t4, 0($t0)
+        sw   $t4, 0($t1)
+        addiu $t0, $t0, 4
+        addiu $t1, $t1, 4
+        bne  $t0, $t3, fsw_bcopy
+        nop
+        sll  $a0, $s7, 3
+        li   $a1, 8
+        la   $a2, bounce_buf
+        lui  $t0, 0x8000
+        xor  $a2, $a2, $t0
+        li   $a3, 5              # op: write
+        jal  disk_submit
+        nop
+fsw_wait:
+        move $a0, $s4
+        j    blk_disk_restart
+        nop
+fsw_done:
+        addu $s6, $s6, $s3
+        sw   $s6, 4($s1)
+        move $a0, $s3
+        j    sys_return
+        nop
+fsw_zero:
+        li   $a0, 0
+        j    sys_return
+        nop
+
+# --- disk_submit: a0 = sector, a1 = count, a2 = phys, a3 = op type -------
+        .globl disk_submit
+disk_submit:
+        li   $t0, %DEVBASE%
+        sw   $a0, 0x20($t0)
+        sw   $a2, 0x24($t0)
+        sw   $a1, 0x28($t0)
+        la   $t1, disk_busy
+        li   $t2, 1
+        sw   $t2, 0($t1)
+        la   $t1, disk_op_type
+        sw   $a3, 0($t1)
+        la   $t1, disk_op_sector
+        sw   $a0, 0($t1)
+        # Command: reads are op 4 (bounce) and 3 (read-ahead); writes op 5.
+        li   $t1, 5
+        beq  $a3, $t1, ds_write
+        nop
+        li   $t1, 1
+        sw   $t1, 0x2c($t0)
+        jr   $ra
+        nop
+ds_write:
+        li   $t1, 2
+        sw   $t1, 0x2c($t0)
+        jr   $ra
+        nop
+
+# --- disk interrupt -------------------------------------------------------
+disk_irq:
+        li   $t0, %DEVBASE%
+        sw   $zero, 0x34($t0)    # DISK_ACK
+        la   $t0, disk_busy
+        sw   $zero, 0($t0)
+        la   $t0, disk_op_type
+        lw   $t1, 0($t0)
+        sw   $zero, 0($t0)
+        la   $t0, disk_op_sector
+        lw   $t2, 0($t0)
+        li   $t3, 4
+        beq  $t1, $t3, di_fill
+        nop
+        li   $t3, 5
+        beq  $t1, $t3, di_write
+        nop
+        li   $t3, 3
+        beq  $t1, $t3, di_ra
+        nop
+        b    di_wake
+        nop
+di_fill:
+        la   $t0, bounce_sector
+        sw   $t2, 0($t0)
+        la   $t0, bounce_is_read
+        li   $t1, 1
+        sw   $t1, 0($t0)
+        # Chain the read-ahead if one was suggested and the device is free.
+        la   $t0, ra_candidate
+        lw   $t1, 0($t0)
+        beq  $t1, $zero, di_wake
+        nop
+        sw   $zero, 0($t0)
+        move $a0, $t1
+        li   $a1, 8
+        la   $a2, ra_buf
+        lui  $t0, 0x8000
+        xor  $a2, $a2, $t0
+        li   $a3, 3
+        jal  disk_submit
+        nop
+        b    di_wake
+        nop
+di_write:
+        la   $t0, wdone_sector
+        sw   $t2, 0($t0)
+        b    di_wake
+        nop
+di_ra:
+        la   $t0, ra_sector
+        sw   $t2, 0($t0)
+di_wake:
+        # Ready every process blocked on the disk.
+        la   $t0, nprocs
+        lw   $t0, 0($t0)
+        la   $t1, pcb_table
+        li   $t2, 0
+dw_loop:
+        sltu $t3, $t2, $t0
+        beq  $t3, $zero, dw_done
+        nop
+        sll  $t3, $t2, 8
+        addu $t3, $t1, $t3
+        lw   $t4, 136($t3)
+        li   $t5, 3
+        bne  $t4, $t5, dw_next
+        nop
+        lw   $t4, 172($t3)
+        li   $t5, 1
+        bne  $t4, $t5, dw_next
+        nop
+        li   $t4, 1
+        sw   $t4, 136($t3)
+        sw   $zero, 172($t3)
+        addiu $sp, $sp, -8
+        sw   $ra, 4($sp)
+        sw   $t0, 0($sp)
+        move $a0, $t3
+        jal  ready_enqueue
+        nop
+        lw   $ra, 4($sp)
+        lw   $t0, 0($sp)
+        addiu $sp, $sp, 8
+        la   $t1, pcb_table
+dw_next:
+        b    dw_loop
+        addiu $t2, $t2, 1
+dw_done:
+        j    exc_exit
+        nop
+
+# --- tlbdropin: a0 = user vaddr -------------------------------------------
+# Explicitly preloads the TLB entry for a user page the kernel just
+# touched, so the user does not miss on it (Ultrix tlbdropin / Mach
+# tlb_map_random — the simulator does not know about these writes, which is
+# a named error source for Table 3).
+        .globl tlbdropin
+tlbdropin:
+        la   $t2, kstat
+        lw   $t3, 8($t2)
+        addiu $t3, $t3, 1
+        sw   $t3, 8($t2)         # calls counted, as the paper reports them
+        lui  $t0, 0xffff
+        ori  $t0, $t0, 0xf000
+        and  $t1, $a0, $t0       # page base
+        lw   $t2, 144($s0)       # asid
+        sll  $t2, $t2, 6
+        or   $t1, $t1, $t2
+        mtc0 $t1, $entryhi
+        tlbp
+        mfc0 $t2, $index
+        bgez $t2, td_present
+        nop
+        # PTE address in kseg2 for (pid, vpn).
+        lw   $t2, 140($s0)
+        sll  $t2, $t2, 21
+        lui  $t3, 0xc000
+        or   $t2, $t2, $t3
+        srl  $t3, $a0, 12
+        sll  $t3, $t3, 2
+        addu $t2, $t2, $t3
+        lw   $t2, 0($t2)         # PTE (may KTLB-miss; fine)
+        mtc0 $t2, $entrylo
+        tlbwr
+td_present:
+        # Restore EntryHi to the current ASID.
+        lw   $t2, 144($s0)
+        sll  $t2, $t2, 6
+        mtc0 $t2, $entryhi
+        jr   $ra
+        nop
+)";
+
+  // ===== Mach personality: IPC, forwarding, device syscalls =============
+  s += R"(
+# ===== Mach personality ===================================================
+# File syscalls become IPC round-trips through the user-level UNIX server:
+# the microkernel builds a request message (copying the open() name out of
+# the caller), queues it on port 0, wakes the server, and blocks the caller
+# until the server's reply delivers v0.
+
+# --- forward_fs: forward the current syscall to the server ----------------
+forward_fs:
+        la   $t0, server_pid
+        lw   $t0, 0($t0)
+        beq  $t0, $zero, fault_kill  # no server: cannot happen
+        nop
+        # Message: op, a0, a1, a2, caller pid, name[12].
+        la   $t1, fwd_msg
+        lw   $t2, 8($s0)
+        sw   $t2, 0($t1)
+        lw   $t2, 16($s0)
+        sw   $t2, 4($t1)
+        lw   $t2, 20($s0)
+        sw   $t2, 8($t1)
+        lw   $t2, 24($s0)
+        sw   $t2, 12($t1)
+        lw   $t2, 140($s0)
+        sw   $t2, 16($t1)
+        # open(): copy the filename into the message (12 bytes max).
+        lw   $t2, 8($s0)
+        li   $t3, 4
+        bne  $t2, $t3, ff_enqueue
+        nop
+        lw   $t2, 16($s0)        # user name pointer
+        addiu $t3, $t1, 20
+        li   $t4, 12
+ff_name:
+        lbu  $t5, 0($t2)
+        sb   $t5, 0($t3)
+        beq  $t5, $zero, ff_enqueue
+        nop
+        addiu $t2, $t2, 1
+        addiu $t3, $t3, 1
+        addiu $t4, $t4, -1
+        bne  $t4, $zero, ff_name
+        nop
+ff_enqueue:
+        la   $a0, fwd_msg
+        jal  port0_append
+        nop
+        # Block the caller awaiting the reply (epc stays advanced: the
+        # reply delivers v0 directly).
+        li   $t0, 3
+        sw   $t0, 136($s0)
+        sw   $t0, 172($s0)       # channel: reply
+        la   $t0, cur_pcb
+        sw   $zero, 0($t0)
+        j    schedule
+        nop
+
+# --- port0_append: a0 = kseg0 message (8 words) ---------------------------
+port0_append:
+        la   $t0, p0_count
+        lw   $t1, 0($t0)
+        sltiu $t2, $t1, 8
+        beq  $t2, $zero, kpanic  # queue overflow: system bug
+        nop
+        la   $t2, p0_tail
+        lw   $t3, 0($t2)
+        sll  $t4, $t3, 5
+        la   $t5, p0_msgs
+        addu $t4, $t5, $t4
+        # Copy 8 words.
+        li   $t5, 8
+pa_copy:
+        lw   $t6, 0($a0)
+        sw   $t6, 0($t4)
+        addiu $a0, $a0, 4
+        addiu $t4, $t4, 4
+        addiu $t5, $t5, -1
+        bne  $t5, $zero, pa_copy
+        nop
+        addiu $t3, $t3, 1
+        andi $t3, $t3, 7
+        sw   $t3, 0($t2)
+        addiu $t1, $t1, 1
+        sw   $t1, 0($t0)
+        # Wake a waiting receiver (the server).
+        la   $t0, p0_waiter
+        lw   $t1, 0($t0)
+        beq  $t1, $zero, pa_done
+        nop
+        sw   $zero, 0($t0)
+        li   $t2, 1
+        sw   $t2, 136($t1)
+        sw   $zero, 172($t1)
+        addiu $sp, $sp, -4
+        sw   $ra, 0($sp)
+        move $a0, $t1
+        jal  ready_enqueue
+        nop
+        lw   $ra, 0($sp)
+        addiu $sp, $sp, 4
+pa_done:
+        jr   $ra
+        nop
+
+# --- msg_recv(port, buf): server receives a request -----------------------
+sys_msgrecv:
+        la   $t0, p0_count
+        lw   $t1, 0($t0)
+        bne  $t1, $zero, mr_have
+        nop
+        # Block with restart: re-execute when a message arrives.
+        la   $t1, p0_waiter
+        sw   $s0, 0($t1)
+        lw   $t1, 128($s0)
+        addiu $t1, $t1, -4
+        sw   $t1, 128($s0)
+        li   $t1, 3
+        sw   $t1, 136($s0)
+        li   $t1, 2
+        sw   $t1, 172($s0)
+        la   $t1, cur_pcb
+        sw   $zero, 0($t1)
+        j    schedule
+        nop
+mr_have:
+        addiu $t1, $t1, -1
+        sw   $t1, 0($t0)
+        la   $t0, p0_head
+        lw   $t1, 0($t0)
+        sll  $t2, $t1, 5
+        la   $t3, p0_msgs
+        addu $t2, $t3, $t2       # message
+        addiu $t1, $t1, 1
+        andi $t1, $t1, 7
+        sw   $t1, 0($t0)
+        # Copy 8 words to the receiver's buffer (current address space).
+        lw   $t0, 20($s0)        # user buf
+        li   $t1, 8
+mr_copy:
+        lw   $t3, 0($t2)
+        sw   $t3, 0($t0)
+        addiu $t2, $t2, 4
+        addiu $t0, $t0, 4
+        addiu $t1, $t1, -1
+        bne  $t1, $zero, mr_copy
+        nop
+        li   $a0, 0
+        j    sys_return
+        nop
+
+# --- msg_send(port, buf): server replies to a caller ----------------------
+sys_msgsend:
+        lw   $t0, 20($s0)        # server buf (current AS)
+        lw   $t1, 16($t0)        # word 4: caller pid
+        addiu $t1, $t1, -1
+        sll  $t1, $t1, 8
+        la   $t2, pcb_table
+        addu $t2, $t2, $t1       # caller pcb
+        lw   $t3, 136($t2)
+        li   $t4, 3
+        bne  $t3, $t4, kpanic
+        nop
+        lw   $t3, 172($t2)
+        bne  $t3, $t4, kpanic    # must be waiting on a reply (channel 3)
+        nop
+        lw   $t3, 4($t0)         # word 1: result value
+        sw   $t3, 8($t2)         # caller's v0
+        li   $t3, 1
+        sw   $t3, 136($t2)
+        sw   $zero, 172($t2)
+        move $a0, $t2
+        jal  ready_enqueue
+        nop
+        li   $a0, 0
+        j    sys_return
+        nop
+
+# --- device block I/O for the server --------------------------------------
+sys_devdiskread:
+        lw   $t0, 140($s0)
+        la   $t1, server_pid
+        lw   $t1, 0($t1)
+        bne  $t0, $t1, fault_kill
+        nop
+        lw   $s1, 16($s0)        # sector
+        lw   $s2, 20($s0)        # buf
+        lw   $s3, 24($s0)        # sector count (<= 8)
+        la   $t0, bounce_sector
+        lw   $t0, 0($t0)
+        bne  $t0, $s1, ddr_fetch
+        nop
+        la   $t0, bounce_is_read
+        lw   $t0, 0($t0)
+        beq  $t0, $zero, ddr_fetch
+        nop
+        # Copy bounce -> server buffer (current AS), then an explicit TLB
+        # load for the destination (tlb_map_random).
+        la   $t0, bounce_buf
+        sll  $t1, $s3, 9
+        move $t2, $s2
+ddr_copy:
+        lw   $t3, 0($t0)
+        sw   $t3, 0($t2)
+        addiu $t0, $t0, 4
+        addiu $t2, $t2, 4
+        addiu $t1, $t1, -4
+        bne  $t1, $zero, ddr_copy
+        nop
+        addiu $a0, $t2, -4
+        jal  tlbdropin
+        nop
+        li   $a0, 0
+        j    sys_return
+        nop
+ddr_fetch:
+        la   $t0, disk_busy
+        lw   $t0, 0($t0)
+        bne  $t0, $zero, ddr_wait
+        nop
+        move $a0, $s1
+        move $a1, $s3
+        la   $a2, bounce_buf
+        lui  $t0, 0x8000
+        xor  $a2, $a2, $t0
+        li   $a3, 4
+        jal  disk_submit
+        nop
+ddr_wait:
+        li   $a0, 0
+        j    blk_disk_restart
+        nop
+
+sys_devdiskwrite:
+        lw   $t0, 140($s0)
+        la   $t1, server_pid
+        lw   $t1, 0($t1)
+        bne  $t0, $t1, fault_kill
+        nop
+        lw   $s1, 16($s0)        # sector
+        lw   $s2, 20($s0)        # buf
+        lw   $s3, 24($s0)        # count
+        la   $t0, wdone_sector
+        lw   $t0, 0($t0)
+        bne  $t0, $s1, ddw_issue
+        nop
+        addiu $t1, $zero, -1
+        la   $t0, wdone_sector
+        sw   $t1, 0($t0)
+        li   $a0, 0
+        j    sys_return
+        nop
+ddw_issue:
+        la   $t0, disk_busy
+        lw   $t0, 0($t0)
+        bne  $t0, $zero, ddw_wait
+        nop
+        # Copy server buffer -> bounce, then submit the write.
+        sll  $t1, $s3, 9
+        move $t2, $s2
+        la   $t3, bounce_buf
+ddw_copy:
+        lw   $t4, 0($t2)
+        sw   $t4, 0($t3)
+        addiu $t2, $t2, 4
+        addiu $t3, $t3, 4
+        addiu $t1, $t1, -4
+        bne  $t1, $zero, ddw_copy
+        nop
+        la   $t0, bounce_sector
+        addiu $t1, $zero, -1
+        sw   $t1, 0($t0)         # bounce no longer holds read data
+        move $a0, $s1
+        move $a1, $s3
+        la   $a2, bounce_buf
+        lui  $t0, 0x8000
+        xor  $a2, $a2, $t0
+        li   $a3, 5
+        jal  disk_submit
+        nop
+ddw_wait:
+        li   $a0, 0
+        j    blk_disk_restart
+        nop
+
+# --- vm_copy(pid, remote_va, local_va, len-and-direction) -----------------
+# a3 (PCB slot 28): length in bytes; bit 31 set = remote->local, clear =
+# local->remote.  Server-only.  Remote pages are reached through the kseg2
+# page tables and kseg0 (no TLB entries for foreign address spaces).
+sys_vmcopy:
+        lw   $t0, 140($s0)
+        la   $t1, server_pid
+        lw   $t1, 0($t1)
+        bne  $t0, $t1, fault_kill
+        nop
+        lw   $s1, 16($s0)        # remote pid
+        lw   $s2, 20($s0)        # remote va
+        lw   $s3, 24($s0)        # local va
+        lw   $s4, 28($s0)        # len | direction
+        srl  $s5, $s4, 31        # direction
+        sll  $s4, $s4, 1
+        srl  $s4, $s4, 1         # length
+vc_loop:
+        blez $s4, vc_done
+        nop
+        # Resolve the remote byte through its page table.
+        sll  $t0, $s1, 21
+        lui  $t1, 0xc000
+        or   $t0, $t0, $t1
+        srl  $t1, $s2, 12
+        sll  $t1, $t1, 2
+        addu $t0, $t0, $t1
+        lw   $t0, 0($t0)         # PTE (kseg2 load; may KTLB-miss)
+        andi $t1, $t0, 0x200
+        beq  $t1, $zero, fault_kill
+        nop
+        srl  $t0, $t0, 12
+        sll  $t0, $t0, 12
+        andi $t1, $s2, 0xfff
+        or   $t0, $t0, $t1
+        lui  $t1, 0x8000
+        or   $t0, $t0, $t1       # kseg0 alias of the remote byte
+        beq  $s5, $zero, vc_to_remote
+        nop
+        lbu  $t2, 0($t0)         # remote -> local
+        b    vc_store_local
+        nop
+vc_to_remote:
+        lbu  $t2, 0($s3)         # local (current AS)
+        sb   $t2, 0($t0)
+        b    vc_next
+        nop
+vc_store_local:
+        sb   $t2, 0($s3)
+vc_next:
+        addiu $s2, $s2, 1
+        addiu $s3, $s3, 1
+        b    vc_loop
+        addiu $s4, $s4, -1
+vc_done:
+        # Explicit TLB load for the remote page (tlb_map_random): install
+        # the final page's translation under the *remote* ASID.
+        addiu $t0, $s2, -1
+        lui  $t1, 0xffff
+        ori  $t1, $t1, 0xf000
+        and  $t0, $t0, $t1
+        sll  $t1, $s1, 6
+        or   $t0, $t0, $t1
+        mtc0 $t0, $entryhi
+        tlbp
+        mfc0 $t1, $index
+        bgez $t1, vc_mapped
+        nop
+        sll  $t1, $s1, 21
+        lui  $t2, 0xc000
+        or   $t1, $t1, $t2
+        addiu $t2, $s2, -1
+        srl  $t2, $t2, 12
+        sll  $t2, $t2, 2
+        addu $t1, $t1, $t2
+        lw   $t1, 0($t1)
+        mtc0 $t1, $entrylo
+        tlbwr
+        la   $t1, kstat
+        lw   $t2, 8($t1)
+        addiu $t2, $t2, 1
+        sw   $t2, 8($t1)
+vc_mapped:
+        lw   $t0, 144($s0)
+        sll  $t0, $t0, 6
+        mtc0 $t0, $entryhi
+        li   $a0, 0
+        j    sys_return
+        nop
+)";
+
+  // ===== Kernel data =====================================================
+  s += R"(
+# ===== Kernel data ========================================================
+        .data
+        .align 8
+        .globl kstat
+kstat:  .word 0, 0, 0, 0, 0, 0, 0, 0   # epc, ucount, dropins, ktlb, analysis...
+        .globl tracing_on
+tracing_on:     .word 0
+suspended:      .word 0
+personality:    .word 0
+nprocs:         .word 0
+page_policy:    .word 0
+policy_mult:    .word 0
+server_pid:     .word 0
+analysis_cost:  .word 0
+cur_pcb:        .word 0
+ready_head:     .word 0
+ready_tail:     .word 0
+knest:          .word 0
+ticks:          .word 0
+cswitch_count:  .word 0
+ktrace_base_v:  .word 0
+        .globl ktrace_ptr
+ktrace_ptr:     .word 0
+ktrace_limit_v: .word 0
+kscratch_ptr:   .word 0
+next_pt_frame:  .word 0
+pt_pool_end:    .word 0
+disk_busy:      .word 0
+disk_op_type:   .word 0
+disk_op_sector: .word 0
+bounce_sector:  .word 0xffffffff
+bounce_is_read: .word 0
+wdone_sector:   .word 0xffffffff
+ra_sector:      .word 0xffffffff
+ra_candidate:   .word 0
+cache_hand:     .word 0
+p0_head:        .word 0
+p0_tail:        .word 0
+p0_count:       .word 0
+p0_waiter:      .word 0
+
+        .bss
+        .align 4096
+        .globl bk_area
+bk_area:        .space 64
+fwd_msg:        .space 32
+fs_dir:         .space 512
+        .align 8
+cache_hdr:      .space 128      # 16 x {block, state}
+p0_msgs:        .space 256      # 8 x 32-byte messages
+        .align 4096
+bounce_buf:     .space 4096
+ra_buf:         .space 4096
+cache_data:     .space 65536    # 16 x 4 KB
+        .globl kptdir
+kptdir:         .space 65536    # kseg2 directory: 16K pages = 64 MB of kseg2
+        .align 256
+pcb_table:      .space 2048     # 8 PCBs x 256 bytes
+)";
+  return s;
+}
+
+}  // namespace wrl

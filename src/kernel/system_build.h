@@ -1,0 +1,161 @@
+// Building and booting complete systems: kernel + user processes + disk.
+//
+// The host side plays boot firmware and, for traced runs, the analysis
+// program's transport: it compiles and links the kernel and the workload
+// (original and instrumented variants), chooses physical frames for every
+// user page according to the page-mapping policy (paper §4.2), writes the
+// boot parameter block, preloads the images ("warmed" memory, like the
+// paper's warmed buffer cache), builds the disk image for the flat
+// filesystem, and services HOSTCALL drains of the in-kernel trace buffer.
+#ifndef WRLTRACE_KERNEL_SYSTEM_BUILD_H_
+#define WRLTRACE_KERNEL_SYSTEM_BUILD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epoxie/epoxie.h"
+#include "kernel/kernel_config.h"
+#include "mach/machine.h"
+#include "obj/object_file.h"
+#include "trace/parser.h"
+
+namespace wrl {
+
+enum class Personality : uint32_t { kUltrix = 0, kMach = 1 };
+enum class PagePolicy : uint32_t { kLinear = 0, kScrambled = 1 };
+
+struct DiskFile {
+  std::string name;  // Max 23 chars.
+  std::vector<uint8_t> content;
+  // Extra zero-filled capacity after the content (for writable files).
+  uint32_t extra_capacity = 0;
+};
+
+struct SystemConfig {
+  Personality personality = Personality::kUltrix;
+  bool tracing = false;
+  // Clock period in cycles.  Traced systems scale this by the dilation
+  // factor (paper §4.1: interrupts at 1/15th the standard rate).
+  uint32_t clock_period = 200000;
+  PagePolicy policy = PagePolicy::kLinear;
+  uint32_t policy_mult = 9;  // Odd multiplier for the scrambled permutation.
+  uint32_t trace_buf_bytes = 8u << 20;
+  uint32_t analysis_cycles_per_word = 20;
+  // The workload program (defines `main`).  Under Mach a UNIX-server
+  // process is added automatically as pid 2.
+  std::string program_source;
+  std::string program_name = "workload";
+  std::vector<DiskFile> files;
+  uint32_t heap_bytes = 8u << 20;  // Heap limit past bss.
+  DiskConfig disk;
+};
+
+// Everything known about one bootable instance.
+class SystemInstance {
+ public:
+  SystemInstance() = default;
+
+  Machine& machine() { return *machine_; }
+  const Executable& kernel_exe() const { return kernel_exe_; }
+  const Executable& workload_orig() const { return workload_orig_; }
+  // Runs to halt; services trace drains along the way for traced systems.
+  RunResult Run(uint64_t max_instructions);
+
+  // ---- Results ----
+  std::string ConsoleOutput() const;
+  // Kernel-written stats block fields.
+  uint32_t StatsWord(uint32_t offset) const;
+  uint64_t UtlbMissCount() const { return StatsWord(4); }
+  uint64_t TlbDropins() const { return StatsWord(8); }
+  uint64_t KtlbRefills() const { return StatsWord(12); }
+  uint64_t ContextSwitches() const { return StatsWord(20); }
+  uint64_t AnalysisSwitches() const { return StatsWord(28); }
+  // Per-pid cycles between first schedule and exit.
+  uint64_t ProcessCycles(uint32_t pid) const;
+  uint32_t ProcessExitCode(uint32_t pid) const;
+
+  // ---- Tracing ----
+  // Registers the consumer of raw trace words; called for every drain
+  // (mode switch) and once at halt.  Only meaningful when tracing.
+  void SetTraceSink(std::function<void(const uint32_t*, size_t)> sink) {
+    trace_sink_ = std::move(sink);
+  }
+  const TraceInfoTable& kernel_table() const { return kernel_table_; }
+  const TraceInfoTable& user_table() const { return user_table_; }
+  uint64_t trace_words_drained() const { return trace_words_drained_; }
+
+  // The page-mapping function the simulator should use for prediction
+  // (paper §4.2: either implement the policy or extract the map).
+  // `mult_override` substitutes a different permutation multiplier — used to
+  // model the unpredictability of Mach's random mapping policy.
+  uint32_t TranslateUserPage(uint32_t pid, uint32_t vpn, uint32_t mult_override = 0) const;
+  std::function<uint32_t(uint32_t, uint32_t)> PageMap(uint32_t mult_override = 0) const {
+    return [this, mult_override](uint32_t pid, uint32_t vpn) {
+      return TranslateUserPage(pid, vpn, mult_override);
+    };
+  }
+
+  // Idle-loop text range of this kernel build (for machine-side counters).
+  std::pair<uint32_t, uint32_t> IdleRange() const;
+
+ private:
+  friend std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config);
+
+  void DrainTrace();
+
+  SystemConfig config_;
+  std::unique_ptr<Machine> machine_;
+  Executable kernel_exe_;
+  Executable workload_orig_;
+  Executable workload_exe_;  // The one actually mapped (orig or traced).
+  Executable server_exe_;
+  TraceInfoTable kernel_table_;
+  TraceInfoTable user_table_;    // Workload (pid 1).
+  TraceInfoTable server_table_;  // Server (pid 2, Mach only).
+  std::function<void(const uint32_t*, size_t)> trace_sink_;
+  uint32_t ktrace_ptr_addr_ = 0;  // Phys address of the kernel's ktrace_ptr.
+  uint32_t ktrace_base_ = 0;      // Phys address of the buffer.
+  uint64_t trace_words_drained_ = 0;
+  uint64_t last_drain_words_ = 0;
+
+  struct ProcLayout {
+    uint32_t region_base_page = 0;
+    uint32_t region_pages = 0;
+    uint32_t data_slice_page = 0;   // Within the region.
+    uint32_t data_vpn0 = 0;
+    uint32_t stack_slice_page = 0;
+    uint32_t stack_vpn0 = 0;
+    uint32_t trace_slice_page = 0;
+    uint32_t trace_vpn0 = 0;
+    uint32_t text_slice_page = 0;
+    uint32_t text_vpn0 = 0;
+    uint32_t data_slice_pages = 0;
+  };
+  std::vector<ProcLayout> layouts_;
+
+  const TraceInfoTable* UserTableFor(uint32_t pid) const {
+    return pid == 2 ? &server_table_ : &user_table_;
+  }
+
+ public:
+  const TraceInfoTable& server_table() const { return server_table_; }
+};
+
+// Compiles, links, loads, and prepares a bootable system.  (Heap-allocated:
+// the machine's host-call handler holds a pointer to the instance.)
+std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config);
+
+// The user-side syscall wrapper library every workload links against.
+std::string UserLibAsm();
+// The Mach UNIX-server program (user-level filesystem over device I/O).
+std::string ServerAsm();
+
+// Builds the flat-filesystem disk image.
+std::vector<uint8_t> BuildDiskImage(const std::vector<DiskFile>& files, uint32_t disk_bytes);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_KERNEL_SYSTEM_BUILD_H_

@@ -1,0 +1,54 @@
+// The DS32 address-space layout (R3000-style).
+//
+//   kuseg  0x00000000–0x7fffffff   mapped through the TLB, user-accessible
+//   kseg0  0x80000000–0x9fffffff   unmapped, cached,   kernel only
+//   kseg1  0xa0000000–0xbfffffff   unmapped, uncached, kernel only (MMIO here)
+//   kseg2  0xc0000000–0xffffffff   mapped through the TLB, kernel only
+//
+// Kernel text and most kernel data live in kseg0 and therefore never touch
+// the TLB — the property the paper leans on when it distinguishes UTLB
+// misses (user segment, 9-instruction dedicated handler) from KTLB misses
+// (mapped kernel segment, slow general-exception path) in §4.1.
+#ifndef WRLTRACE_MACH_ADDRESS_SPACE_H_
+#define WRLTRACE_MACH_ADDRESS_SPACE_H_
+
+#include <cstdint>
+
+namespace wrl {
+
+constexpr uint32_t kKuseg = 0x00000000;
+constexpr uint32_t kKseg0 = 0x80000000;
+constexpr uint32_t kKseg1 = 0xa0000000;
+constexpr uint32_t kKseg2 = 0xc0000000;
+
+constexpr uint32_t kPageBytes = 4096;
+constexpr uint32_t kPageShift = 12;
+
+// Exception vectors.
+constexpr uint32_t kVecUtlbMiss = 0x80000000;  // Dedicated user-TLB refill.
+constexpr uint32_t kVecGeneral = 0x80000080;   // Everything else.
+// Boot entry (where the loader places the kernel's startup code).
+constexpr uint32_t kVecReset = 0x80000200;
+
+// MMIO device page (physical; virtual = kseg1 + this).  Placed above the
+// largest supported RAM size so it never shadows memory.
+constexpr uint32_t kDevicePhysBase = 0x1fd00000;
+constexpr uint32_t kDeviceVirtBase = kKseg1 + kDevicePhysBase;
+constexpr uint32_t kDeviceBytes = 0x1000;
+
+// The word reserved for trace *marker* entries: addresses in the top page
+// are never mapped, so a trace word in this range is unambiguously a marker
+// rather than a data address (see trace/format.h).
+constexpr uint32_t kMarkerBase = 0xfffff000;
+
+inline bool InKuseg(uint32_t va) { return va < kKseg0; }
+inline bool InKseg0(uint32_t va) { return va >= kKseg0 && va < kKseg1; }
+inline bool InKseg1(uint32_t va) { return va >= kKseg1 && va < kKseg2; }
+inline bool InKseg2(uint32_t va) { return va >= kKseg2; }
+
+inline uint32_t PageOf(uint32_t va) { return va >> kPageShift; }
+inline uint32_t PageBase(uint32_t va) { return va & ~(kPageBytes - 1); }
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_MACH_ADDRESS_SPACE_H_

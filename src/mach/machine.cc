@@ -1,0 +1,639 @@
+#include "mach/machine.h"
+
+#include <cstring>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace wrl {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      phys_(config.phys_bytes, 0),
+      tlb_(config.tlb_wired),
+      memsys_(config.memsys),
+      timing_(config.timing),
+      disk_(config.disk) {
+  WRL_CHECK(config.phys_bytes % kPageBytes == 0);
+  WRL_CHECK_MSG(config.phys_bytes <= kDevicePhysBase, "RAM would shadow the device page");
+  cop0_[kCop0Prid] = 0x0230;  // R3000-ish.
+}
+
+uint32_t Machine::PhysRead32(uint32_t paddr) const {
+  WRL_CHECK_MSG(paddr + 4 <= phys_.size() && paddr % 4 == 0,
+                StrFormat("phys read out of range at 0x%08x", paddr));
+  uint32_t v;
+  std::memcpy(&v, phys_.data() + paddr, 4);
+  return v;
+}
+
+void Machine::PhysWrite32(uint32_t paddr, uint32_t value) {
+  WRL_CHECK_MSG(paddr + 4 <= phys_.size() && paddr % 4 == 0,
+                StrFormat("phys write out of range at 0x%08x", paddr));
+  std::memcpy(phys_.data() + paddr, &value, 4);
+}
+
+void Machine::PhysWrite(uint32_t paddr, const std::vector<uint8_t>& bytes) {
+  WRL_CHECK_MSG(paddr + bytes.size() <= phys_.size(),
+                StrFormat("phys image write out of range at 0x%08x", paddr));
+  std::memcpy(phys_.data() + paddr, bytes.data(), bytes.size());
+}
+
+void Machine::LoadImage(const Executable& exe, std::function<uint32_t(uint32_t)> vaddr_to_paddr) {
+  PhysWrite(vaddr_to_paddr(exe.text_base), exe.text);
+  if (!exe.data.empty()) {
+    PhysWrite(vaddr_to_paddr(exe.data_base), exe.data);
+  }
+  if (exe.bss_size > 0) {
+    uint32_t paddr = vaddr_to_paddr(exe.bss_base);
+    WRL_CHECK(paddr + exe.bss_size <= phys_.size());
+    std::memset(phys_.data() + paddr, 0, exe.bss_size);
+  }
+}
+
+void Machine::RaiseException(Exc code, uint32_t faulting_pc, bool in_delay, uint32_t badvaddr,
+                             bool badvaddr_valid, bool utlb_vector) {
+  ++exception_counts_[static_cast<unsigned>(code)];
+  if (utlb_vector) {
+    ++utlb_miss_exceptions_;
+  }
+  uint32_t cause = cop0_[kCop0Cause];
+  cause &= ~0x7cu;  // Clear ExcCode.
+  cause |= static_cast<uint32_t>(code) << 2;
+  if (in_delay) {
+    cause |= 0x80000000u;  // BD
+    cop0_[kCop0Epc] = faulting_pc - 4;
+  } else {
+    cause &= ~0x80000000u;
+    cop0_[kCop0Epc] = faulting_pc;
+  }
+  cop0_[kCop0Cause] = cause;
+  if (badvaddr_valid) {
+    cop0_[kCop0BadVAddr] = badvaddr;
+    // Context: PTEBase | BadVPN<<2 — points straight at the PTE when the
+    // kernel keeps a linear page table at PTEBase (the 9-instruction UTLB
+    // handler depends on this).
+    uint32_t ptebase = cop0_[kCop0Context] & 0xffe00000u;
+    cop0_[kCop0Context] = ptebase | (((badvaddr >> 12) & 0x7ffffu) << 2);
+    cop0_[kCop0EntryHi] = MakeEntryHi(badvaddr, static_cast<uint8_t>((cop0_[kCop0EntryHi] >> 6) & 63));
+  }
+  // Push the KU/IE stack: old<-prev, prev<-current, current<-(kernel, off).
+  uint32_t status = cop0_[kCop0Status];
+  uint32_t stack = status & 0x3f;
+  stack = ((stack << 2) & 0x3c);
+  cop0_[kCop0Status] = (status & ~0x3fu) | stack;
+  pc_ = utlb_vector ? kVecUtlbMiss : kVecGeneral;
+  next_pc_ = pc_ + 4;
+  in_delay_ = false;
+  cycles_ += config_.exception_entry_cycles;
+}
+
+Machine::Translation Machine::Translate(uint32_t vaddr, Access access, uint32_t faulting_pc,
+                                        bool in_delay) {
+  Translation t;
+  bool user = user_mode();
+  bool store = access == Access::kStore;
+  if (InKuseg(vaddr)) {
+    uint8_t asid = static_cast<uint8_t>((cop0_[kCop0EntryHi] >> 6) & 63);
+    auto index = tlb_.Lookup(vaddr, asid);
+    if (!index) {
+      // kuseg refill goes through the dedicated UTLB vector — unless the
+      // CPU is already in kernel mode *handling* something at the general
+      // vector; R3000 kernels keep the UTLB path valid in that case too, so
+      // we always use the dedicated vector for kuseg misses.
+      RaiseException(store ? Exc::kTlbS : Exc::kTlbL, faulting_pc, in_delay, vaddr, true, true);
+      return t;
+    }
+    const TlbEntry& e = tlb_.entry(*index);
+    if (!e.valid()) {
+      RaiseException(store ? Exc::kTlbS : Exc::kTlbL, faulting_pc, in_delay, vaddr, true, false);
+      return t;
+    }
+    if (store && !e.dirty()) {
+      RaiseException(Exc::kMod, faulting_pc, in_delay, vaddr, true, false);
+      return t;
+    }
+    t.ok = true;
+    t.paddr = (e.pfn() << 12) | (vaddr & 0xfff);
+    t.cached = !e.uncached();
+    return t;
+  }
+  if (user) {
+    RaiseException(store ? Exc::kAdES : Exc::kAdEL, faulting_pc, in_delay, vaddr, true, false);
+    return t;
+  }
+  if (InKseg0(vaddr)) {
+    t.ok = true;
+    t.paddr = vaddr - kKseg0;
+    t.cached = true;
+    return t;
+  }
+  if (InKseg1(vaddr)) {
+    t.ok = true;
+    t.paddr = vaddr - kKseg1;
+    t.cached = false;
+    t.device = (t.paddr >= kDevicePhysBase && t.paddr < kDevicePhysBase + kDeviceBytes);
+    return t;
+  }
+  // kseg2: mapped kernel segment; misses use the *general* vector (the
+  // paper's slow KTLB path).
+  uint8_t asid = static_cast<uint8_t>((cop0_[kCop0EntryHi] >> 6) & 63);
+  auto index = tlb_.Lookup(vaddr, asid);
+  if (!index || !tlb_.entry(*index).valid()) {
+    RaiseException(store ? Exc::kTlbS : Exc::kTlbL, faulting_pc, in_delay, vaddr, true, false);
+    return t;
+  }
+  const TlbEntry& e = tlb_.entry(*index);
+  if (store && !e.dirty()) {
+    RaiseException(Exc::kMod, faulting_pc, in_delay, vaddr, true, false);
+    return t;
+  }
+  t.ok = true;
+  t.paddr = (e.pfn() << 12) | (vaddr & 0xfff);
+  t.cached = !e.uncached();
+  return t;
+}
+
+void Machine::TickDevices() {
+  uint32_t ip = 0;
+  if (disk_.Tick(cycles_, phys_)) {
+    ip |= 1u << kIrqDisk;
+  }
+  if (clock_.Tick(cycles_)) {
+    ip |= 1u << kIrqClock;
+  }
+  uint32_t cause = cop0_[kCop0Cause];
+  cause &= ~(0xfcu << 8);  // Hardware IP bits 15:10 (IP2..IP7).
+  cause |= ip << 8;
+  cop0_[kCop0Cause] = cause;
+}
+
+bool Machine::CheckInterrupts() {
+  uint32_t status = cop0_[kCop0Status];
+  if ((status & kStatusIEc) == 0) {
+    return false;
+  }
+  uint32_t pending = (cop0_[kCop0Cause] >> 8) & 0xff;
+  uint32_t mask = (status >> kStatusImShift) & 0xff;
+  if ((pending & mask) == 0) {
+    return false;
+  }
+  RaiseException(Exc::kInt, pc_, in_delay_, 0, false, false);
+  return true;
+}
+
+uint32_t Machine::MmioRead(uint32_t offset) {
+  switch (offset) {
+    case kDevCycleLo:
+      cycle_latch_hi_ = cycles_ >> 32;
+      return static_cast<uint32_t>(cycles_);
+    case kDevCycleHi:
+      return static_cast<uint32_t>(cycle_latch_hi_);
+    case kDevClockPeriod:
+      return clock_.ReadReg(offset);
+    case kDevDiskSector:
+    case kDevDiskAddr:
+    case kDevDiskCount:
+    case kDevDiskStatus:
+      return disk_.ReadReg(offset);
+    case kDevHostcall:
+      return hostcall_reply_;
+    default:
+      throw Error(StrFormat("MMIO read from bad register 0x%x", offset));
+  }
+}
+
+void Machine::MmioWrite(uint32_t offset, uint32_t value) {
+  switch (offset) {
+    case kDevConsolePutc:
+      console_.PutChar(static_cast<char>(value));
+      break;
+    case kDevConsolePutdec:
+      console_.PutDec(value);
+      break;
+    case kDevHalt:
+      halted_ = true;
+      halt_code_ = value;
+      break;
+    case kDevClockPeriod:
+    case kDevClockAck:
+      clock_.WriteReg(offset, value, cycles_);
+      break;
+    case kDevDiskSector:
+    case kDevDiskAddr:
+    case kDevDiskCount:
+    case kDevDiskCmd:
+    case kDevDiskAck:
+      disk_.WriteReg(offset, value, cycles_);
+      break;
+    case kDevHostcall:
+      hostcall_reply_ = hostcall_handler_ ? hostcall_handler_(value) : 0;
+      break;
+    default:
+      throw Error(StrFormat("MMIO write to bad register 0x%x", offset));
+  }
+}
+
+void Machine::UncountInstruction(uint32_t cur, bool was_user) {
+  // A data-access fault aborts the instruction; it will re-execute after
+  // the handler, so the first attempt must not inflate the architectural
+  // instruction counters (the trace of the original binary records it once).
+  // `was_user` is the mode *before* any exception push.
+  --instructions_;
+  if (was_user) {
+    --user_instructions_;
+  } else {
+    --kernel_instructions_;
+  }
+  if (cur >= idle_lo_ && cur < idle_hi_) {
+    --idle_instructions_;
+  }
+}
+
+void Machine::WaitMulDiv() {
+  if (cycles_ < muldiv_ready_) {
+    arith_stall_cycles_ += muldiv_ready_ - cycles_;
+    cycles_ = muldiv_ready_;
+  }
+}
+
+void Machine::Step() {
+  if (halted_) {
+    return;
+  }
+  TickDevices();
+  if (CheckInterrupts()) {
+    return;
+  }
+
+  uint32_t cur = pc_;
+  bool delay = in_delay_;
+
+  Translation ft = Translate(cur, Access::kFetch, cur, delay);
+  if (!ft.ok) {
+    return;
+  }
+  if (ft.device || (cur & 3) != 0) {
+    RaiseException(Exc::kAdEL, cur, delay, cur, true, false);
+    return;
+  }
+  uint32_t word = PhysRead32(ft.paddr);
+  if (timing_) {
+    cycles_ += ft.cached ? memsys_.Fetch(ft.paddr, cycles_) : memsys_.UncachedLoad(ft.paddr, cycles_);
+  }
+  bool user = user_mode();
+  if (trace_hook_) {
+    trace_hook_({RefEvent::kIfetch, cur, 4, user, cur});
+  }
+  ++instructions_;
+  if (user) {
+    ++user_instructions_;
+  } else {
+    ++kernel_instructions_;
+  }
+  if (cur >= idle_lo_ && cur < idle_hi_) {
+    ++idle_instructions_;
+  }
+
+  pc_ = next_pc_;
+  next_pc_ = pc_ + 4;
+  in_delay_ = false;
+  ++cycles_;
+
+  Execute(Decode(word), cur, delay);
+}
+
+void Machine::Execute(const Inst& inst, uint32_t cur, bool delay) {
+  auto rs = [&] { return gpr_[inst.rs]; };
+  auto rt = [&] { return gpr_[inst.rt]; };
+  auto write_rd = [&](uint32_t v) { set_gpr(inst.rd, v); };
+  auto write_rt = [&](uint32_t v) { set_gpr(inst.rt, v); };
+  auto branch_to = [&](uint32_t target) {
+    WRL_CHECK_MSG(!delay, StrFormat("control transfer in a delay slot at 0x%08x", cur));
+    next_pc_ = target;
+    in_delay_ = true;
+  };
+  int32_t simm = inst.imm;
+  uint32_t uimm = static_cast<uint16_t>(inst.imm);
+
+  switch (inst.op) {
+    case Op::kInvalid:
+      RaiseException(Exc::kRI, cur, delay, 0, false, false);
+      return;
+
+    // --- ALU, register form ---
+    case Op::kSll: write_rd(rt() << inst.shamt); return;
+    case Op::kSrl: write_rd(rt() >> inst.shamt); return;
+    case Op::kSra: write_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >> inst.shamt)); return;
+    case Op::kSllv: write_rd(rt() << (rs() & 31)); return;
+    case Op::kSrlv: write_rd(rt() >> (rs() & 31)); return;
+    case Op::kSrav:
+      write_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >> (rs() & 31)));
+      return;
+    case Op::kAdd: {
+      int64_t sum = static_cast<int64_t>(static_cast<int32_t>(rs())) + static_cast<int32_t>(rt());
+      if (sum != static_cast<int32_t>(sum)) {
+        RaiseException(Exc::kOv, cur, delay, 0, false, false);
+        return;
+      }
+      write_rd(static_cast<uint32_t>(sum));
+      return;
+    }
+    case Op::kAddu: write_rd(rs() + rt()); return;
+    case Op::kSub: {
+      int64_t diff = static_cast<int64_t>(static_cast<int32_t>(rs())) - static_cast<int32_t>(rt());
+      if (diff != static_cast<int32_t>(diff)) {
+        RaiseException(Exc::kOv, cur, delay, 0, false, false);
+        return;
+      }
+      write_rd(static_cast<uint32_t>(diff));
+      return;
+    }
+    case Op::kSubu: write_rd(rs() - rt()); return;
+    case Op::kAnd: write_rd(rs() & rt()); return;
+    case Op::kOr: write_rd(rs() | rt()); return;
+    case Op::kXor: write_rd(rs() ^ rt()); return;
+    case Op::kNor: write_rd(~(rs() | rt())); return;
+    case Op::kSlt: write_rd(static_cast<int32_t>(rs()) < static_cast<int32_t>(rt()) ? 1 : 0); return;
+    case Op::kSltu: write_rd(rs() < rt() ? 1 : 0); return;
+
+    // --- Multiply/divide ---
+    case Op::kMult: {
+      WaitMulDiv();
+      int64_t prod = static_cast<int64_t>(static_cast<int32_t>(rs())) *
+                     static_cast<int64_t>(static_cast<int32_t>(rt()));
+      lo_ = static_cast<uint32_t>(prod);
+      hi_ = static_cast<uint32_t>(prod >> 32);
+      muldiv_ready_ = cycles_ + ArithStallCycles(inst.op);
+      return;
+    }
+    case Op::kMultu: {
+      WaitMulDiv();
+      uint64_t prod = static_cast<uint64_t>(rs()) * rt();
+      lo_ = static_cast<uint32_t>(prod);
+      hi_ = static_cast<uint32_t>(prod >> 32);
+      muldiv_ready_ = cycles_ + ArithStallCycles(inst.op);
+      return;
+    }
+    case Op::kDiv: {
+      WaitMulDiv();
+      int32_t a = static_cast<int32_t>(rs());
+      int32_t b = static_cast<int32_t>(rt());
+      if (b == 0) {
+        lo_ = (a >= 0) ? 0xffffffffu : 1;
+        hi_ = static_cast<uint32_t>(a);
+      } else if (a == INT32_MIN && b == -1) {
+        lo_ = static_cast<uint32_t>(INT32_MIN);
+        hi_ = 0;
+      } else {
+        lo_ = static_cast<uint32_t>(a / b);
+        hi_ = static_cast<uint32_t>(a % b);
+      }
+      muldiv_ready_ = cycles_ + ArithStallCycles(inst.op);
+      return;
+    }
+    case Op::kDivu: {
+      WaitMulDiv();
+      if (rt() == 0) {
+        lo_ = 0xffffffffu;
+        hi_ = rs();
+      } else {
+        lo_ = rs() / rt();
+        hi_ = rs() % rt();
+      }
+      muldiv_ready_ = cycles_ + ArithStallCycles(inst.op);
+      return;
+    }
+    case Op::kMfhi:
+      WaitMulDiv();
+      write_rd(hi_);
+      return;
+    case Op::kMflo:
+      WaitMulDiv();
+      write_rd(lo_);
+      return;
+    case Op::kMthi: hi_ = rs(); return;
+    case Op::kMtlo: lo_ = rs(); return;
+
+    // --- ALU, immediate form ---
+    case Op::kAddi: {
+      int64_t sum = static_cast<int64_t>(static_cast<int32_t>(rs())) + simm;
+      if (sum != static_cast<int32_t>(sum)) {
+        RaiseException(Exc::kOv, cur, delay, 0, false, false);
+        return;
+      }
+      write_rt(static_cast<uint32_t>(sum));
+      return;
+    }
+    case Op::kAddiu: write_rt(rs() + static_cast<uint32_t>(simm)); return;
+    case Op::kSlti: write_rt(static_cast<int32_t>(rs()) < simm ? 1 : 0); return;
+    case Op::kSltiu: write_rt(rs() < static_cast<uint32_t>(simm) ? 1 : 0); return;
+    case Op::kAndi: write_rt(rs() & uimm); return;
+    case Op::kOri: write_rt(rs() | uimm); return;
+    case Op::kXori: write_rt(rs() ^ uimm); return;
+    case Op::kLui: write_rt(uimm << 16); return;
+
+    // --- Control transfer ---
+    case Op::kJ: branch_to(JumpTarget(cur, inst.target)); return;
+    case Op::kJal:
+      set_gpr(kRa, cur + 8);
+      branch_to(JumpTarget(cur, inst.target));
+      return;
+    case Op::kJr: branch_to(rs()); return;
+    case Op::kJalr: {
+      uint32_t target = rs();
+      write_rd(cur + 8);
+      branch_to(target);
+      return;
+    }
+    case Op::kBeq:
+      if (rs() == rt()) {
+        branch_to(BranchTarget(cur, inst.imm));
+      }
+      return;
+    case Op::kBne:
+      if (rs() != rt()) {
+        branch_to(BranchTarget(cur, inst.imm));
+      }
+      return;
+    case Op::kBlez:
+      if (static_cast<int32_t>(rs()) <= 0) {
+        branch_to(BranchTarget(cur, inst.imm));
+      }
+      return;
+    case Op::kBgtz:
+      if (static_cast<int32_t>(rs()) > 0) {
+        branch_to(BranchTarget(cur, inst.imm));
+      }
+      return;
+    case Op::kBltz:
+      if (static_cast<int32_t>(rs()) < 0) {
+        branch_to(BranchTarget(cur, inst.imm));
+      }
+      return;
+    case Op::kBgez:
+      if (static_cast<int32_t>(rs()) >= 0) {
+        branch_to(BranchTarget(cur, inst.imm));
+      }
+      return;
+
+    // --- Memory ---
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu: {
+      uint32_t vaddr = rs() + static_cast<uint32_t>(simm);
+      unsigned bytes = MemAccessBytes(inst.op);
+      bool was_user = user_mode();
+      if (vaddr % bytes != 0) {
+        UncountInstruction(cur, was_user);
+        RaiseException(Exc::kAdEL, cur, delay, vaddr, true, false);
+        return;
+      }
+      Translation t = Translate(vaddr, Access::kLoad, cur, delay);
+      if (!t.ok) {
+        UncountInstruction(cur, was_user);
+        return;
+      }
+      uint32_t value;
+      if (t.device) {
+        value = MmioRead(t.paddr - kDevicePhysBase);
+      } else {
+        WRL_CHECK_MSG(t.paddr + bytes <= phys_.size(),
+                      StrFormat("load beyond physical memory: va 0x%08x pa 0x%08x", vaddr, t.paddr));
+        uint32_t w = 0;
+        std::memcpy(&w, phys_.data() + t.paddr, bytes);
+        value = w;
+      }
+      if (timing_) {
+        cycles_ += t.cached ? memsys_.Load(t.paddr, cycles_) : memsys_.UncachedLoad(t.paddr, cycles_);
+      }
+      if (trace_hook_) {
+        trace_hook_({RefEvent::kLoad, vaddr, static_cast<uint8_t>(bytes), user_mode(), cur});
+      }
+      switch (inst.op) {
+        case Op::kLb: value = static_cast<uint32_t>(static_cast<int8_t>(value)); break;
+        case Op::kLh: value = static_cast<uint32_t>(static_cast<int16_t>(value)); break;
+        default: break;
+      }
+      write_rt(value);
+      return;
+    }
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw: {
+      uint32_t vaddr = rs() + static_cast<uint32_t>(simm);
+      unsigned bytes = MemAccessBytes(inst.op);
+      bool was_user = user_mode();
+      if (vaddr % bytes != 0) {
+        UncountInstruction(cur, was_user);
+        RaiseException(Exc::kAdES, cur, delay, vaddr, true, false);
+        return;
+      }
+      Translation t = Translate(vaddr, Access::kStore, cur, delay);
+      if (!t.ok) {
+        UncountInstruction(cur, was_user);
+        return;
+      }
+      if (t.device) {
+        MmioWrite(t.paddr - kDevicePhysBase, rt());
+      } else {
+        WRL_CHECK_MSG(t.paddr + bytes <= phys_.size(),
+                      StrFormat("store beyond physical memory: va 0x%08x pa 0x%08x", vaddr, t.paddr));
+        uint32_t value = rt();
+        std::memcpy(phys_.data() + t.paddr, &value, bytes);
+      }
+      if (timing_) {
+        cycles_ += t.cached ? memsys_.Store(t.paddr, cycles_) : memsys_.UncachedStore(t.paddr, cycles_);
+      }
+      if (trace_hook_) {
+        trace_hook_({RefEvent::kStore, vaddr, static_cast<uint8_t>(bytes), user_mode(), cur});
+      }
+      return;
+    }
+
+    // --- Traps ---
+    case Op::kSyscall:
+      RaiseException(Exc::kSys, cur, delay, 0, false, false);
+      return;
+    case Op::kBreak:
+      RaiseException(Exc::kBp, cur, delay, 0, false, false);
+      return;
+
+    // --- COP0 ---
+    case Op::kMfc0:
+    case Op::kMtc0:
+    case Op::kTlbr:
+    case Op::kTlbwi:
+    case Op::kTlbwr:
+    case Op::kTlbp:
+    case Op::kRfe: {
+      if (user_mode()) {
+        RaiseException(Exc::kRI, cur, delay, 0, false, false);
+        return;
+      }
+      switch (inst.op) {
+        case Op::kMfc0:
+          if (inst.rd == kCop0Random) {
+            write_rt(static_cast<uint32_t>(tlb_.Random(instructions_)) << 8);
+          } else {
+            write_rt(cop0_[inst.rd & 15]);
+          }
+          break;
+        case Op::kMtc0:
+          cop0_[inst.rd & 15] = rt();
+          break;
+        case Op::kTlbr: {
+          unsigned index = (cop0_[kCop0Index] >> 8) & 63;
+          cop0_[kCop0EntryHi] = tlb_.entry(index).entry_hi;
+          cop0_[kCop0EntryLo] = tlb_.entry(index).entry_lo;
+          break;
+        }
+        case Op::kTlbwi: {
+          unsigned index = (cop0_[kCop0Index] >> 8) & 63;
+          tlb_.entry(index) = {cop0_[kCop0EntryHi], cop0_[kCop0EntryLo]};
+          break;
+        }
+        case Op::kTlbwr: {
+          unsigned index = tlb_.Random(instructions_);
+          tlb_.entry(index) = {cop0_[kCop0EntryHi], cop0_[kCop0EntryLo]};
+          break;
+        }
+        case Op::kTlbp: {
+          uint32_t vaddr = cop0_[kCop0EntryHi] & 0xfffff000u;
+          uint8_t asid = static_cast<uint8_t>((cop0_[kCop0EntryHi] >> 6) & 63);
+          auto index = tlb_.Lookup(vaddr, asid);
+          cop0_[kCop0Index] = index ? (static_cast<uint32_t>(*index) << 8) : 0x80000000u;
+          break;
+        }
+        case Op::kRfe: {
+          // Pop the KU/IE stack: current<-prev, prev<-old.
+          uint32_t status = cop0_[kCop0Status];
+          uint32_t stack = status & 0x3f;
+          stack = ((stack >> 2) & 0x0f) | (stack & 0x30);
+          cop0_[kCop0Status] = (status & ~0x3fu) | stack;
+          break;
+        }
+        default:
+          break;
+      }
+      return;
+    }
+  }
+}
+
+RunResult Machine::Run(uint64_t max_instructions) {
+  uint64_t limit = instructions_ + max_instructions;
+  while (!halted_ && instructions_ < limit) {
+    Step();
+  }
+  RunResult r;
+  r.halted = halted_;
+  r.halt_code = halt_code_;
+  r.instructions = instructions_;
+  r.cycles = cycles_;
+  return r;
+}
+
+}  // namespace wrl

@@ -1,0 +1,225 @@
+// The simulated DS32 machine: CPU core, physical memory, TLB, devices.
+//
+// The machine plays the role of the paper's DECstation 5000/200.  In
+// *timing* mode it charges memory-system stalls (through memsys) and
+// multiply/divide latencies, and its cycle counter is the "high resolution
+// timer" the paper measures ground truth with (§5.1).  In *functional* mode
+// it is the independent "CPU simulator" against which epoxie trace is
+// validated (§4.3): the reference-trace hook emits the exact sequence of
+// instruction and data references an uninstrumented run performs.
+//
+// Faithfulness notes:
+//   * one architectural branch delay slot (epoxie's packing depends on it);
+//   * software-managed TLB, dedicated UTLB refill vector for kuseg misses,
+//     general vector for everything else (kseg2 "KTLB" misses included);
+//   * R3000-style three-deep KU/IE status stack with rfe;
+//   * mult/div busy latencies are the machine's "arithmetic stalls";
+//   * exception entry/exit costs extra cycles that the trace-driven
+//     predictor knowingly does not model (a named error source in §5.1).
+#ifndef WRLTRACE_MACH_MACHINE_H_
+#define WRLTRACE_MACH_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/isa.h"
+#include "mach/address_space.h"
+#include "mach/devices.h"
+#include "mach/tlb.h"
+#include "memsys/memsys.h"
+#include "obj/object_file.h"
+
+namespace wrl {
+
+enum class Exc : uint8_t {
+  kInt = 0,
+  kMod = 1,
+  kTlbL = 2,
+  kTlbS = 3,
+  kAdEL = 4,
+  kAdES = 5,
+  kSys = 8,
+  kBp = 9,
+  kRI = 10,
+  kOv = 12,
+};
+
+// Status register bits (R3000).
+enum StatusBits : uint32_t {
+  kStatusIEc = 1u << 0,
+  kStatusKUc = 1u << 1,  // 1 = user mode.
+  kStatusIEp = 1u << 2,
+  kStatusKUp = 1u << 3,
+  kStatusIEo = 1u << 4,
+  kStatusKUo = 1u << 5,
+  kStatusImShift = 8,    // IM mask in bits 15:8.
+};
+
+// Hardware interrupt lines (bit positions within the IP field).
+constexpr unsigned kIrqDisk = 6;
+constexpr unsigned kIrqClock = 7;
+
+// One reference in the machine's own (ground-truth) trace.
+struct RefEvent {
+  enum Kind : uint8_t { kIfetch, kLoad, kStore };
+  Kind kind;
+  uint32_t vaddr;
+  uint8_t bytes;
+  bool user_mode;
+  uint32_t pc;  // The instruction performing the reference (== vaddr for fetches).
+};
+
+struct MachineConfig {
+  uint32_t phys_bytes = 64u << 20;
+  bool timing = false;
+  MemSysConfig memsys;
+  DiskConfig disk;
+  unsigned tlb_wired = 8;
+  // Hardware cost of entering an exception handler (flush + vector fetch).
+  unsigned exception_entry_cycles = 10;
+};
+
+struct RunResult {
+  bool halted = false;
+  uint32_t halt_code = 0;
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  // ---- Execution ----
+  void Step();
+  // Runs until halt or the instruction budget is exhausted.
+  RunResult Run(uint64_t max_instructions);
+  bool halted() const { return halted_; }
+  uint32_t halt_code() const { return halt_code_; }
+
+  // ---- Architectural state ----
+  uint32_t gpr(unsigned i) const { return gpr_[i]; }
+  void set_gpr(unsigned i, uint32_t v) {
+    if (i != 0) {
+      gpr_[i] = v;
+    }
+  }
+  uint32_t pc() const { return pc_; }
+  void SetPc(uint32_t pc) {
+    pc_ = pc;
+    next_pc_ = pc + 4;
+    in_delay_ = false;
+  }
+  uint32_t cop0(unsigned reg) const { return cop0_[reg & 15]; }
+  void set_cop0(unsigned reg, uint32_t v) { cop0_[reg & 15] = v; }
+  bool user_mode() const { return (cop0_[kCop0Status] & kStatusKUc) != 0; }
+  Tlb& tlb() { return tlb_; }
+
+  // ---- Physical memory ----
+  std::vector<uint8_t>& phys() { return phys_; }
+  const std::vector<uint8_t>& phys() const { return phys_; }
+  uint32_t PhysRead32(uint32_t paddr) const;
+  void PhysWrite32(uint32_t paddr, uint32_t value);
+  void PhysWrite(uint32_t paddr, const std::vector<uint8_t>& bytes);
+  // Places an executable's text/data at fixed physical addresses and zeroes
+  // its bss.  `vaddr_to_paddr` maps the image's virtual bases.
+  void LoadImage(const Executable& exe, std::function<uint32_t(uint32_t)> vaddr_to_paddr);
+
+  // ---- Devices ----
+  Console& console() { return console_; }
+  Disk& disk() { return disk_; }
+  Clock& clock() { return clock_; }
+  // Host upcall: invoked when the kernel writes the HOSTCALL register; the
+  // return value becomes readable at the same register.
+  void set_hostcall_handler(std::function<uint32_t(uint32_t)> handler) {
+    hostcall_handler_ = std::move(handler);
+  }
+
+  // ---- Ground-truth reference tracing ----
+  void set_trace_hook(std::function<void(const RefEvent&)> hook) { trace_hook_ = std::move(hook); }
+
+  // ---- Counters ----
+  uint64_t cycles() const { return cycles_; }
+  uint64_t instructions() const { return instructions_; }
+  uint64_t user_instructions() const { return user_instructions_; }
+  uint64_t kernel_instructions() const { return kernel_instructions_; }
+  uint64_t arith_stall_cycles() const { return arith_stall_cycles_; }
+  uint64_t utlb_miss_exceptions() const { return utlb_miss_exceptions_; }
+  uint64_t exception_count(Exc code) const { return exception_counts_[static_cast<unsigned>(code)]; }
+  uint64_t interrupts_taken() const { return exception_counts_[0]; }
+  const MemorySystem* memsys() const { return timing_ ? &memsys_ : nullptr; }
+  MemorySystem* mutable_memsys() { return timing_ ? &memsys_ : nullptr; }
+
+  // Counts instruction fetches whose PC lies in [lo, hi): used by tests and
+  // benches to watch the kernel idle loop from outside.
+  void SetIdleRange(uint32_t lo, uint32_t hi) {
+    idle_lo_ = lo;
+    idle_hi_ = hi;
+  }
+  uint64_t idle_instructions() const { return idle_instructions_; }
+
+ private:
+  enum class Access : uint8_t { kFetch, kLoad, kStore };
+
+  struct Translation {
+    bool ok = false;
+    uint32_t paddr = 0;
+    bool cached = true;
+    bool device = false;
+  };
+
+  Translation Translate(uint32_t vaddr, Access access, uint32_t faulting_pc, bool in_delay);
+  void RaiseException(Exc code, uint32_t faulting_pc, bool in_delay, uint32_t badvaddr,
+                      bool badvaddr_valid, bool utlb_vector);
+  void Execute(const Inst& inst, uint32_t cur, bool delay);
+  bool CheckInterrupts();
+  void TickDevices();
+
+  uint32_t MmioRead(uint32_t offset);
+  void MmioWrite(uint32_t offset, uint32_t value);
+
+  void WaitMulDiv();
+  void UncountInstruction(uint32_t cur, bool was_user);
+
+  MachineConfig config_;
+  std::vector<uint8_t> phys_;
+  Tlb tlb_;
+  MemorySystem memsys_;
+  bool timing_;
+
+  uint32_t gpr_[32] = {0};
+  uint32_t hi_ = 0;
+  uint32_t lo_ = 0;
+  uint32_t pc_ = kVecReset;
+  uint32_t next_pc_ = kVecReset + 4;
+  bool in_delay_ = false;
+  uint32_t cop0_[16] = {0};
+
+  Console console_;
+  Disk disk_;
+  Clock clock_;
+  std::function<uint32_t(uint32_t)> hostcall_handler_;
+  uint32_t hostcall_reply_ = 0;
+  std::function<void(const RefEvent&)> trace_hook_;
+
+  bool halted_ = false;
+  uint32_t halt_code_ = 0;
+
+  uint64_t cycles_ = 0;
+  uint64_t instructions_ = 0;
+  uint64_t user_instructions_ = 0;
+  uint64_t kernel_instructions_ = 0;
+  uint64_t muldiv_ready_ = 0;
+  uint64_t arith_stall_cycles_ = 0;
+  uint64_t utlb_miss_exceptions_ = 0;
+  uint64_t exception_counts_[16] = {0};
+  uint32_t idle_lo_ = 0;
+  uint32_t idle_hi_ = 0;
+  uint64_t idle_instructions_ = 0;
+  uint64_t cycle_latch_hi_ = 0;
+};
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_MACH_MACHINE_H_

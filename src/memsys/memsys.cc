@@ -1,0 +1,109 @@
+#include "memsys/memsys.h"
+
+#include "support/error.h"
+
+namespace wrl {
+
+DirectMappedCache::DirectMappedCache(const CacheConfig& config) : config_(config) {
+  WRL_CHECK(config.line_bytes > 0 && (config.line_bytes & (config.line_bytes - 1)) == 0);
+  WRL_CHECK(config.size_bytes % config.line_bytes == 0);
+  num_lines_ = config.size_bytes / config.line_bytes;
+  tags_.assign(num_lines_, 0);
+  valid_.assign(num_lines_, false);
+}
+
+bool DirectMappedCache::Access(uint32_t paddr) {
+  uint32_t index = LineIndex(paddr);
+  uint32_t tag = Tag(paddr);
+  if (valid_[index] && tags_[index] == tag) {
+    return true;
+  }
+  valid_[index] = true;
+  tags_[index] = tag;
+  return false;
+}
+
+bool DirectMappedCache::Update(uint32_t paddr) {
+  uint32_t index = LineIndex(paddr);
+  return valid_[index] && tags_[index] == Tag(paddr);
+}
+
+void DirectMappedCache::Invalidate(uint32_t paddr) {
+  uint32_t index = LineIndex(paddr);
+  if (valid_[index] && tags_[index] == Tag(paddr)) {
+    valid_[index] = false;
+  }
+}
+
+void DirectMappedCache::InvalidateAll() { valid_.assign(num_lines_, false); }
+
+uint64_t WriteBuffer::Push(uint64_t now) {
+  while (!retire_times_.empty() && retire_times_.front() <= now) {
+    retire_times_.pop_front();
+  }
+  uint64_t stall = 0;
+  if (retire_times_.size() >= depth_) {
+    stall = retire_times_.front() - now;
+    retire_times_.pop_front();
+  }
+  uint64_t issue = now + stall;
+  uint64_t retire =
+      (retire_times_.empty() ? issue : std::max(issue, retire_times_.back())) + cycles_per_entry_;
+  retire_times_.push_back(retire);
+  return stall;
+}
+
+void WriteBuffer::Reset() { retire_times_.clear(); }
+
+MemorySystem::MemorySystem(const MemSysConfig& config)
+    : config_(config),
+      icache_(config.icache),
+      dcache_(config.dcache),
+      write_buffer_(config.wb_depth, config.wb_cycles_per_entry) {}
+
+uint64_t MemorySystem::Fetch(uint32_t paddr, uint64_t now) {
+  ++stats_.inst_fetches;
+  if (icache_.Access(paddr)) {
+    return 0;
+  }
+  ++stats_.icache_misses;
+  return config_.read_miss_penalty;
+}
+
+uint64_t MemorySystem::Load(uint32_t paddr, uint64_t now) {
+  ++stats_.data_reads;
+  if (dcache_.Access(paddr)) {
+    return 0;
+  }
+  ++stats_.dcache_misses;
+  return config_.read_miss_penalty;
+}
+
+uint64_t MemorySystem::Store(uint32_t paddr, uint64_t now) {
+  ++stats_.data_writes;
+  dcache_.Update(paddr);  // Write-through, no write-allocate.
+  uint64_t stall = write_buffer_.Push(now);
+  stats_.wb_stall_cycles += stall;
+  return stall;
+}
+
+uint64_t MemorySystem::UncachedLoad(uint32_t paddr, uint64_t now) {
+  ++stats_.uncached_reads;
+  return config_.uncached_penalty;
+}
+
+uint64_t MemorySystem::UncachedStore(uint32_t paddr, uint64_t now) {
+  ++stats_.uncached_writes;
+  uint64_t stall = write_buffer_.Push(now);
+  stats_.wb_stall_cycles += stall;
+  return stall;
+}
+
+void MemorySystem::Reset() {
+  icache_.InvalidateAll();
+  dcache_.InvalidateAll();
+  write_buffer_.Reset();
+  stats_ = MemSysStats{};
+}
+
+}  // namespace wrl

@@ -1,0 +1,128 @@
+// The memory-system timing model of the simulated DECstation.
+//
+// One implementation serves two masters:
+//   * the "real machine" (src/mach) attaches a MemorySystem to charge stall
+//     cycles while executing uninstrumented binaries — this produces the
+//     *measured* numbers of Tables 2 and 3;
+//   * the trace-driven analysis program (src/sim) feeds the same model with
+//     references parsed from the trace — this produces the *predicted*
+//     numbers.
+//
+// The configuration mirrors the DECstation 5000/200: split direct-mapped
+// 64 KB instruction and data caches (16-byte I-lines, 4-byte D-lines),
+// write-through/no-write-allocate data cache in front of a 6-deep write
+// buffer, and a flat miss penalty.  Caches are physically indexed, which is
+// why the page-mapping policy matters (paper §4.2).
+#ifndef WRLTRACE_MEMSYS_MEMSYS_H_
+#define WRLTRACE_MEMSYS_MEMSYS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace wrl {
+
+struct CacheConfig {
+  uint32_t size_bytes = 64 * 1024;
+  uint32_t line_bytes = 16;
+};
+
+// A direct-mapped, physically-indexed cache.
+class DirectMappedCache {
+ public:
+  explicit DirectMappedCache(const CacheConfig& config);
+
+  // Looks up `paddr`; on a miss the line is filled.  Returns true on hit.
+  bool Access(uint32_t paddr);
+  // Write-through update: refreshes the line only if already present
+  // (no write allocation).  Returns true if the line was present.
+  bool Update(uint32_t paddr);
+  // Invalidates the line containing `paddr` (used by I-cache flushes).
+  void Invalidate(uint32_t paddr);
+  void InvalidateAll();
+
+  uint32_t num_lines() const { return num_lines_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  uint32_t LineIndex(uint32_t paddr) const { return (paddr / config_.line_bytes) % num_lines_; }
+  uint32_t Tag(uint32_t paddr) const { return paddr / config_.line_bytes / num_lines_; }
+
+  CacheConfig config_;
+  uint32_t num_lines_;
+  std::vector<uint32_t> tags_;
+  std::vector<bool> valid_;
+};
+
+// The write buffer between the write-through cache and memory.  Entries
+// retire at a fixed rate; a store issued while the buffer is full stalls the
+// CPU until a slot frees up.
+class WriteBuffer {
+ public:
+  WriteBuffer(unsigned depth, unsigned cycles_per_entry)
+      : depth_(depth), cycles_per_entry_(cycles_per_entry) {}
+
+  // Issues a store at time `now`; returns the number of stall cycles.
+  uint64_t Push(uint64_t now);
+  void Reset();
+
+ private:
+  unsigned depth_;
+  unsigned cycles_per_entry_;
+  std::deque<uint64_t> retire_times_;
+};
+
+struct MemSysConfig {
+  CacheConfig icache{64 * 1024, 16};
+  CacheConfig dcache{64 * 1024, 4};
+  unsigned read_miss_penalty = 15;  // Cycles per I- or D-cache read miss.
+  unsigned uncached_penalty = 15;   // Cycles per uncached read.
+  unsigned wb_depth = 6;
+  unsigned wb_cycles_per_entry = 5;
+};
+
+struct MemSysStats {
+  uint64_t inst_fetches = 0;
+  uint64_t icache_misses = 0;
+  uint64_t data_reads = 0;
+  uint64_t dcache_misses = 0;
+  uint64_t data_writes = 0;
+  uint64_t wb_stall_cycles = 0;
+  uint64_t uncached_reads = 0;
+  uint64_t uncached_writes = 0;
+
+  // Total memory-system stall cycles under `config` penalties.
+  uint64_t StallCycles(const MemSysConfig& config) const {
+    return (icache_misses + dcache_misses + uncached_reads) * config.read_miss_penalty +
+           wb_stall_cycles;
+  }
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemSysConfig& config);
+
+  // Each returns the stall cycles charged for the access at time `now`.
+  uint64_t Fetch(uint32_t paddr, uint64_t now);
+  uint64_t Load(uint32_t paddr, uint64_t now);
+  uint64_t Store(uint32_t paddr, uint64_t now);
+  uint64_t UncachedLoad(uint32_t paddr, uint64_t now);
+  uint64_t UncachedStore(uint32_t paddr, uint64_t now);
+
+  void FlushICache() { icache_.InvalidateAll(); }
+  void Reset();
+
+  const MemSysStats& stats() const { return stats_; }
+  const MemSysConfig& config() const { return config_; }
+
+ private:
+  MemSysConfig config_;
+  DirectMappedCache icache_;
+  DirectMappedCache dcache_;
+  WriteBuffer write_buffer_;
+  MemSysStats stats_;
+};
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_MEMSYS_MEMSYS_H_

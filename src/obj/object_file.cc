@@ -1,0 +1,336 @@
+#include "obj/object_file.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace wrl {
+namespace {
+
+// --- Little helpers for the binary serialization format ---
+
+void Put32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  Put32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void PutBytes(std::vector<uint8_t>& out, const std::vector<uint8_t>& bytes) {
+  Put32(out, static_cast<uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  uint32_t Get32() {
+    if (pos_ + 4 > bytes_.size()) {
+      throw Error("truncated object file");
+    }
+    uint32_t v = bytes_[pos_] | (uint32_t{bytes_[pos_ + 1]} << 8) |
+                 (uint32_t{bytes_[pos_ + 2]} << 16) | (uint32_t{bytes_[pos_ + 3]} << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  std::string GetString() {
+    uint32_t n = Get32();
+    if (pos_ + n > bytes_.size()) {
+      throw Error("truncated object file string");
+    }
+    std::string s(bytes_.begin() + static_cast<long>(pos_),
+                  bytes_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<uint8_t> GetBytes() {
+    uint32_t n = Get32();
+    if (pos_ + n > bytes_.size()) {
+      throw Error("truncated object file section");
+    }
+    std::vector<uint8_t> b(bytes_.begin() + static_cast<long>(pos_),
+                           bytes_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+constexpr uint32_t kMagic = 0x314f5745;  // "EWO1"
+
+}  // namespace
+
+uint32_t ObjectFile::TextWord(uint32_t offset) const {
+  WRL_CHECK_MSG(offset % 4 == 0 && offset + 4 <= text.size(),
+                StrFormat("text word offset %u out of range", offset));
+  return text[offset] | (uint32_t{text[offset + 1]} << 8) | (uint32_t{text[offset + 2]} << 16) |
+         (uint32_t{text[offset + 3]} << 24);
+}
+
+void ObjectFile::SetTextWord(uint32_t offset, uint32_t word) {
+  WRL_CHECK_MSG(offset % 4 == 0 && offset + 4 <= text.size(),
+                StrFormat("text word offset %u out of range", offset));
+  text[offset] = static_cast<uint8_t>(word);
+  text[offset + 1] = static_cast<uint8_t>(word >> 8);
+  text[offset + 2] = static_cast<uint8_t>(word >> 16);
+  text[offset + 3] = static_cast<uint8_t>(word >> 24);
+}
+
+std::vector<uint8_t> ObjectFile::Serialize() const {
+  std::vector<uint8_t> out;
+  Put32(out, kMagic);
+  PutString(out, source_name);
+  PutBytes(out, text);
+  PutBytes(out, data);
+  Put32(out, bss_size);
+  Put32(out, static_cast<uint32_t>(symbols.size()));
+  for (const Symbol& s : symbols) {
+    PutString(out, s.name);
+    Put32(out, s.value);
+    Put32(out, static_cast<uint32_t>(s.section));
+    Put32(out, s.global ? 1 : 0);
+  }
+  Put32(out, static_cast<uint32_t>(relocations.size()));
+  for (const Relocation& r : relocations) {
+    Put32(out, r.offset);
+    Put32(out, static_cast<uint32_t>(r.section));
+    Put32(out, static_cast<uint32_t>(r.type));
+    PutString(out, r.symbol);
+    Put32(out, static_cast<uint32_t>(r.addend));
+  }
+  Put32(out, static_cast<uint32_t>(blocks.size()));
+  for (const BlockAnnotation& b : blocks) {
+    Put32(out, b.offset);
+    Put32(out, b.flags);
+  }
+  return out;
+}
+
+ObjectFile ObjectFile::Deserialize(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  if (reader.Get32() != kMagic) {
+    throw Error("bad object file magic");
+  }
+  ObjectFile obj;
+  obj.source_name = reader.GetString();
+  obj.text = reader.GetBytes();
+  obj.data = reader.GetBytes();
+  obj.bss_size = reader.Get32();
+  uint32_t nsyms = reader.Get32();
+  for (uint32_t i = 0; i < nsyms; ++i) {
+    Symbol s;
+    s.name = reader.GetString();
+    s.value = reader.Get32();
+    s.section = static_cast<SectionId>(reader.Get32());
+    s.global = reader.Get32() != 0;
+    obj.symbols.push_back(std::move(s));
+  }
+  uint32_t nrelocs = reader.Get32();
+  for (uint32_t i = 0; i < nrelocs; ++i) {
+    Relocation r;
+    r.offset = reader.Get32();
+    r.section = static_cast<SectionId>(reader.Get32());
+    r.type = static_cast<RelocType>(reader.Get32());
+    r.symbol = reader.GetString();
+    r.addend = static_cast<int32_t>(reader.Get32());
+    obj.relocations.push_back(std::move(r));
+  }
+  uint32_t nblocks = reader.Get32();
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    BlockAnnotation b;
+    b.offset = reader.Get32();
+    b.flags = reader.Get32();
+    obj.blocks.push_back(b);
+  }
+  return obj;
+}
+
+uint32_t Executable::SymbolAddress(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    throw Error(StrFormat("undefined symbol '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+namespace {
+
+uint32_t AlignUp(uint32_t value, uint32_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+struct ObjectLayout {
+  uint32_t text_offset = 0;  // Offset of this object's text in the image.
+  uint32_t data_offset = 0;
+  uint32_t bss_offset = 0;
+};
+
+void PatchWord(std::vector<uint8_t>& bytes, uint32_t offset, uint32_t word) {
+  WRL_CHECK(offset + 4 <= bytes.size());
+  bytes[offset] = static_cast<uint8_t>(word);
+  bytes[offset + 1] = static_cast<uint8_t>(word >> 8);
+  bytes[offset + 2] = static_cast<uint8_t>(word >> 16);
+  bytes[offset + 3] = static_cast<uint8_t>(word >> 24);
+}
+
+uint32_t FetchWord(const std::vector<uint8_t>& bytes, uint32_t offset) {
+  WRL_CHECK(offset + 4 <= bytes.size());
+  return bytes[offset] | (uint32_t{bytes[offset + 1]} << 8) | (uint32_t{bytes[offset + 2]} << 16) |
+         (uint32_t{bytes[offset + 3]} << 24);
+}
+
+}  // namespace
+
+Executable Link(const std::vector<ObjectFile>& objects, const LinkOptions& options) {
+  Executable exe;
+  exe.text_base = options.text_base;
+
+  // Pass 1: layout.
+  std::vector<ObjectLayout> layouts(objects.size());
+  uint32_t text_size = 0;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    WRL_CHECK_MSG(objects[i].text.size() % 4 == 0,
+                  StrFormat("object '%s' text not word-aligned", objects[i].source_name.c_str()));
+    layouts[i].text_offset = text_size;
+    text_size += static_cast<uint32_t>(objects[i].text.size());
+  }
+  exe.data_base = options.fixed_data_base != 0
+                      ? options.fixed_data_base
+                      : AlignUp(options.text_base + text_size, options.data_align);
+  uint32_t data_size = 0;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    data_size = AlignUp(data_size, 8);
+    layouts[i].data_offset = data_size;
+    data_size += static_cast<uint32_t>(objects[i].data.size());
+  }
+  exe.bss_base = AlignUp(exe.data_base + data_size, 8);
+  uint32_t bss_size = 0;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    bss_size = AlignUp(bss_size, 8);
+    layouts[i].bss_offset = bss_size;
+    bss_size += objects[i].bss_size;
+  }
+  exe.bss_size = bss_size;
+
+  // Pass 2: build the global symbol table.
+  auto symbol_base = [&](size_t obj, SectionId section) -> uint32_t {
+    switch (section) {
+      case SectionId::kText: return exe.text_base + layouts[obj].text_offset;
+      case SectionId::kData: return exe.data_base + layouts[obj].data_offset;
+      case SectionId::kBss: return exe.bss_base + layouts[obj].bss_offset;
+      case SectionId::kAbs: return 0;
+    }
+    throw InternalError("bad section id");
+  };
+  // name -> absolute address, for globals; per-object local tables too.
+  std::vector<std::map<std::string, uint32_t>> local_symbols(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (const Symbol& s : objects[i].symbols) {
+      uint32_t address = symbol_base(i, s.section) + s.value;
+      local_symbols[i][s.name] = address;
+      if (s.global) {
+        auto [it, inserted] = exe.symbols.emplace(s.name, address);
+        if (!inserted) {
+          throw Error(StrFormat("duplicate global symbol '%s' (in '%s')", s.name.c_str(),
+                                objects[i].source_name.c_str()));
+        }
+      }
+    }
+  }
+
+  // Pass 3: concatenate section contents.
+  exe.text.resize(text_size);
+  exe.data.resize(data_size);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    std::copy(objects[i].text.begin(), objects[i].text.end(),
+              exe.text.begin() + layouts[i].text_offset);
+    std::copy(objects[i].data.begin(), objects[i].data.end(),
+              exe.data.begin() + layouts[i].data_offset);
+  }
+
+  // Pass 4: apply relocations.
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (const Relocation& r : objects[i].relocations) {
+      // Resolve the symbol: local first, then global.
+      uint32_t symbol_value;
+      auto local_it = local_symbols[i].find(r.symbol);
+      if (local_it != local_symbols[i].end()) {
+        symbol_value = local_it->second;
+      } else {
+        auto global_it = exe.symbols.find(r.symbol);
+        if (global_it == exe.symbols.end()) {
+          throw Error(StrFormat("undefined symbol '%s' referenced from '%s'", r.symbol.c_str(),
+                                objects[i].source_name.c_str()));
+        }
+        symbol_value = global_it->second;
+      }
+      uint32_t value = symbol_value + static_cast<uint32_t>(r.addend);
+
+      std::vector<uint8_t>* section;
+      uint32_t section_offset;
+      if (r.section == SectionId::kText) {
+        section = &exe.text;
+        section_offset = layouts[i].text_offset + r.offset;
+      } else if (r.section == SectionId::kData) {
+        section = &exe.data;
+        section_offset = layouts[i].data_offset + r.offset;
+      } else {
+        throw Error(StrFormat("relocation in unsupported section in '%s'",
+                              objects[i].source_name.c_str()));
+      }
+
+      uint32_t word = FetchWord(*section, section_offset);
+      switch (r.type) {
+        case RelocType::kWord32:
+          word = value;
+          break;
+        case RelocType::kHi16:
+          word = (word & 0xffff0000u) | (value >> 16);
+          break;
+        case RelocType::kLo16:
+          word = (word & 0xffff0000u) | (value & 0xffffu);
+          break;
+        case RelocType::kJump26: {
+          uint32_t instr_addr = exe.text_base + section_offset;
+          if ((value & 0xf0000000u) != ((instr_addr + 4) & 0xf0000000u)) {
+            throw Error(StrFormat("jump from 0x%08x to 0x%08x crosses 256MB region", instr_addr,
+                                  value));
+          }
+          word = (word & 0xfc000000u) | ((value >> 2) & 0x03ffffffu);
+          break;
+        }
+      }
+      PatchWord(*section, section_offset, word);
+    }
+  }
+
+  // Pass 5: merge block annotations (absolute addresses).
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (const BlockAnnotation& b : objects[i].blocks) {
+      exe.blocks.push_back(
+          {exe.text_base + layouts[i].text_offset + b.offset, b.flags});
+    }
+  }
+  std::sort(exe.blocks.begin(), exe.blocks.end(),
+            [](const BlockAnnotation& a, const BlockAnnotation& b) { return a.offset < b.offset; });
+
+  for (size_t i = 0; i < objects.size(); ++i) {
+    exe.object_text_bases.push_back(exe.text_base + layouts[i].text_offset);
+  }
+  exe.entry = exe.SymbolAddress(options.entry_symbol);
+  return exe;
+}
+
+}  // namespace wrl

@@ -1,0 +1,66 @@
+// The TLB simulator used during trace analysis (paper §4.1).
+//
+// The traced system deliberately does not trace its UTLB miss handler: the
+// instrumented system's doubled text would make the handler's behavior
+// unrepresentative.  Instead, the analysis program simulates the TLB of the
+// *original* binary from the reconstructed reference stream, counts misses
+// (Table 3's predicted column), and synthesizes the handler's own
+// references — thirteen instruction fetches at the refill vector and one
+// page-table load in kseg2 — into the stream the cache simulation consumes.
+//
+// The simulated TLB mirrors the hardware: 64 fully-associative entries,
+// eight wired, ASID-tagged, random replacement driven by an instruction
+// counter.  The counter here advances with the *simulated* stream, not the
+// real machine's, so replacement decisions diverge — the residual
+// randomness error the paper observes in §5.2.  The kernel's explicit
+// tlbdropin()/tlb_map_random() preloads are likewise invisible here, the
+// other named error source.
+#ifndef WRLTRACE_SIM_TLB_SIM_H_
+#define WRLTRACE_SIM_TLB_SIM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "mach/tlb.h"
+#include "trace/parser.h"
+
+namespace wrl {
+
+struct TlbSimStats {
+  uint64_t user_refs = 0;      // kuseg references (either mode).
+  uint64_t utlb_misses = 0;    // kuseg misses (the Table 3 number).
+  uint64_t ktlb_misses = 0;    // kseg2 misses (slow general-vector path).
+};
+
+class TlbSimulator {
+ public:
+  // Number of instructions the synthesized UTLB handler executes (our
+  // handler: counter maintenance + Context load + tlbwr + return).
+  static constexpr unsigned kHandlerInstructions = 13;
+
+  explicit TlbSimulator(unsigned wired = 8) : tlb_(wired) {}
+
+  // Synthesized handler references are reported here (for cache simulation).
+  void SetSynthesizedSink(std::function<void(const TraceRef&)> sink) {
+    synth_sink_ = std::move(sink);
+  }
+
+  // Processes one reference from the parsed trace.  Returns true if the
+  // reference took a UTLB miss (and the handler was synthesized).
+  bool OnRef(const TraceRef& ref);
+
+  const TlbSimStats& stats() const { return stats_; }
+
+ private:
+  void SynthesizeHandler(const TraceRef& ref);
+
+  Tlb tlb_;
+  uint64_t instruction_counter_ = 0;
+  uint8_t last_user_asid_ = 0;
+  TlbSimStats stats_;
+  std::function<void(const TraceRef&)> synth_sink_;
+};
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_SIM_TLB_SIM_H_

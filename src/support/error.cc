@@ -1,0 +1,18 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace wrl {
+namespace support_internal {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& detail) {
+  std::ostringstream os;
+  os << "WRL_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!detail.empty()) {
+    os << " — " << detail;
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace support_internal
+}  // namespace wrl

@@ -1,0 +1,50 @@
+// Error handling primitives shared by every wrltrace library.
+//
+// The toolchain components (assembler, linker, epoxie) report user-level
+// problems (bad assembly, undefined symbols) with Error, which carries a
+// formatted message.  Internal invariant violations use the WRL_CHECK
+// macros, which throw InternalError so tests can observe them.
+#ifndef WRLTRACE_SUPPORT_ERROR_H_
+#define WRLTRACE_SUPPORT_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace wrl {
+
+// A user-facing error (bad input to a tool, malformed file, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+// A violated internal invariant: a bug in wrltrace itself.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& message) : std::logic_error(message) {}
+};
+
+namespace support_internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& detail);
+}  // namespace support_internal
+
+}  // namespace wrl
+
+// Always-on invariant check.  Throws wrl::InternalError on failure.
+#define WRL_CHECK(expr)                                                        \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::wrl::support_internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                          \
+  } while (0)
+
+// Invariant check with a formatted detail message (any streamable values).
+#define WRL_CHECK_MSG(expr, detail)                                              \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::wrl::support_internal::CheckFailed(__FILE__, __LINE__, #expr, (detail)); \
+    }                                                                            \
+  } while (0)
+
+#endif  // WRLTRACE_SUPPORT_ERROR_H_

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the reproduction (workload data, random page
+// mapping policy, Monte-Carlo workloads) draws from this generator so that
+// experiments are exactly repeatable from a seed.
+#ifndef WRLTRACE_SUPPORT_RNG_H_
+#define WRLTRACE_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace wrl {
+
+// SplitMix64: tiny, fast, and high-quality enough for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Uniform value in [0, bound).  bound must be nonzero.
+  uint32_t Below(uint32_t bound) { return static_cast<uint32_t>(Next64() % bound); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next64() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_SUPPORT_RNG_H_

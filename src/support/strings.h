@@ -1,0 +1,34 @@
+// Small string utilities used across the toolchain and the harness.
+#ifndef WRLTRACE_SUPPORT_STRINGS_H_
+#define WRLTRACE_SUPPORT_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wrl {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// 0x%08x rendering of a 32-bit value; the universal notation for addresses.
+std::string Hex32(uint32_t value);
+
+// Splits on any character in `separators`; empty fields are dropped.
+std::vector<std::string_view> SplitFields(std::string_view text, std::string_view separators);
+
+// Removes leading and trailing whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool HasPrefix(std::string_view text, std::string_view prefix);
+
+// Parses a decimal or 0x-prefixed hexadecimal integer (optionally negative).
+// Throws wrl::Error when `text` is not a well-formed number.
+int64_t ParseInt(std::string_view text);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_SUPPORT_STRINGS_H_

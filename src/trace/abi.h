@@ -1,0 +1,101 @@
+// The tracing ABI: every constant shared between epoxie-generated code, the
+// hand-written trace support routines (bbtrace/memtrace), the traced kernel,
+// and the host-side trace-parsing library.
+//
+// Register convention (paper §3.2: "the tracing system requires three
+// registers for its own use, referred to symbolically as xreg1, xreg2 and
+// xreg3"):
+//   xreg1 ($t8)  current trace-buffer pointer
+//   xreg2 ($t9)  scratch for the support routines
+//   xreg3 ($t7)  bookkeeping-area base address
+//
+// Uses of these stolen registers in original code are rewritten by epoxie to
+// operate on "shadow" values in the bookkeeping area.
+//
+// Bookkeeping area layout (offsets off xreg3, or off $at inside epoxie's
+// shadow windows):
+//   +0   SAVED_RA   the program's ra, re-saved at every basic-block header
+//   +4   TMP_RA     support-routine return point
+//   +8   TMP_INSTR  memtrace scratch: the delay-slot instruction word
+//   +12  LIMIT      trace-buffer limit (flush when a block would pass it)
+//   +16  SHADOW1..3 shadow values of the three stolen registers
+//   +28  SPILL1..3  tracing state spilled across a shadow window
+//   +40  BUF_START  buffer reset address (used by the flush paths)
+#ifndef WRLTRACE_TRACE_ABI_H_
+#define WRLTRACE_TRACE_ABI_H_
+
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "mach/address_space.h"
+
+namespace wrl {
+
+// Stolen registers.
+constexpr uint8_t kXreg1 = kT8;  // Trace pointer.
+constexpr uint8_t kXreg2 = kT9;  // Scratch.
+constexpr uint8_t kXreg3 = kT7;  // Bookkeeping base.
+
+inline bool IsStolenReg(uint8_t reg) { return reg == kXreg1 || reg == kXreg2 || reg == kXreg3; }
+// Index (0..2) of a stolen register, for shadow/spill slot addressing.
+inline unsigned StolenIndex(uint8_t reg) { return reg == kXreg1 ? 0 : reg == kXreg2 ? 1 : 2; }
+
+// Bookkeeping offsets.
+constexpr uint32_t kBkSavedRa = 0;
+constexpr uint32_t kBkTmpRa = 4;
+constexpr uint32_t kBkTmpInstr = 8;
+constexpr uint32_t kBkLimit = 12;
+constexpr uint32_t kBkShadow0 = 16;  // +4*StolenIndex
+constexpr uint32_t kBkSpill0 = 28;   // +4*StolenIndex
+constexpr uint32_t kBkBufStart = 40;
+constexpr uint32_t kBkInstCount = 44;  // Pixie mode's dynamic instruction counter.
+constexpr uint32_t kBkBytes = 64;
+
+// ---- Per-process user trace pages (fixed virtual addresses) ----
+constexpr uint32_t kUserTraceBufBase = 0x7f000000;
+constexpr uint32_t kUserTraceBufBytes = 64 * 1024;
+constexpr uint32_t kUserBkBase = 0x7fff0000;  // One bookkeeping page.
+// Room the flush check leaves below the true end of a buffer, so markers and
+// the final block always fit.
+constexpr uint32_t kTraceSlackBytes = 1024;
+
+// break-instruction code the user-level bbtrace uses to request a flush of
+// the per-process buffer into the in-kernel buffer.
+constexpr uint32_t kTrapTraceFlush = 64;
+
+// ---- Trace markers ----
+// A trace entry is one machine word (paper §3.3).  Words in the top page
+// (kMarkerBase..) are markers written by the (hand-instrumented) kernel
+// entry/exit paths; everything else is a basic-block key or a data address.
+enum MarkerCode : uint32_t {
+  kMarkKernelEnter = 0,  // +1 operand: (pid << 8) | exception code
+  kMarkKernelExit = 1,   // +1 operand: pid returning to (0xff = idle/none)
+  kMarkContextSwitch = 2,  // +1 operand: new pid
+  kMarkTraceOn = 3,
+  kMarkTraceOff = 4,
+  kMarkAnalysis = 5,  // +1 operand: words drained (mode-switch boundary)
+};
+
+constexpr uint32_t MakeMarker(MarkerCode code) { return kMarkerBase | static_cast<uint32_t>(code); }
+inline bool IsMarkerWord(uint32_t word) { return word >= kMarkerBase; }
+inline MarkerCode MarkerCodeOf(uint32_t word) {
+  return static_cast<MarkerCode>(word & (kPageBytes - 1));
+}
+// Number of operand words following a marker.
+inline unsigned MarkerOperands(MarkerCode code) {
+  switch (code) {
+    case kMarkKernelEnter:
+    case kMarkKernelExit:
+    case kMarkContextSwitch:
+    case kMarkAnalysis:
+      return 1;
+    case kMarkTraceOn:
+    case kMarkTraceOff:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_TRACE_ABI_H_

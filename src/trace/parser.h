@@ -1,0 +1,159 @@
+// The trace-parsing library (paper §3.3/§3.5).
+//
+// Trace entries are single machine words.  A word is one of:
+//   * a marker (reserved top page — see trace/abi.h), written by the
+//     hand-instrumented kernel entry/exit paths;
+//   * a basic-block key — the return address bbtrace recorded — which the
+//     parser maps through a per-address-space lookup table to the block's
+//     address in the *original, uninstrumented* binary plus its static
+//     description (instruction count, positions and kinds of memory ops);
+//   * a data address recorded by memtrace, attributed to the next memory
+//     operation of the block in progress.
+//
+// The parser reconstructs the exact interleaving of instruction and data
+// references and handles blocks interrupted mid-flight by exceptions: a
+// KERNEL_ENTER marker suspends the current block (per-process for user
+// contexts, on a stack for nested kernel exceptions — the Ultrix port's
+// lesson from §3.5), and the matching KERNEL_EXIT resumes it.
+//
+// Defensive tracing (§4.3): the format's redundancy — known block lengths,
+// known memory-op counts, address-space membership of keys — lets the
+// parser detect missing or corrupt words with high probability.  Violations
+// are recorded, counted, and surfaced; parsing continues where possible.
+#ifndef WRLTRACE_TRACE_PARSER_H_
+#define WRLTRACE_TRACE_PARSER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "epoxie/epoxie.h"
+#include "trace/abi.h"
+
+namespace wrl {
+
+// Static description of one basic block, keyed by absolute instrumented
+// key address, describing the block in *original* address terms.
+struct TraceBlockInfo {
+  uint32_t orig_addr = 0;
+  uint32_t num_insts = 0;
+  uint32_t flags = 0;
+  std::vector<MemOpStatic> mem_ops;
+};
+
+// The per-address-space lookup table ("static information about the binary
+// image", §3.2).
+class TraceInfoTable {
+ public:
+  void Add(uint32_t key_addr, TraceBlockInfo info);
+  // Registers every block of an instrumented object, given where that
+  // object's text landed in the instrumented and original links.
+  void AddObject(const std::vector<BlockStatic>& blocks, uint32_t instrumented_text_base,
+                 uint32_t original_text_base);
+  const TraceBlockInfo* Find(uint32_t key_addr) const;
+  size_t size() const { return blocks_.size(); }
+
+ private:
+  std::unordered_map<uint32_t, TraceBlockInfo> blocks_;
+};
+
+// One reconstructed reference.
+struct TraceRef {
+  enum Kind : uint8_t { kIfetch, kLoad, kStore };
+  Kind kind;
+  uint32_t addr;   // Original-binary virtual address.
+  uint8_t bytes;
+  uint8_t pid;     // 0xff for kernel.
+  bool kernel;
+  bool idle;       // Inside the kernel idle loop (per block flags).
+};
+
+constexpr uint8_t kKernelPid = 0xff;
+
+struct TraceParserStats {
+  uint64_t words = 0;
+  uint64_t blocks = 0;
+  uint64_t refs = 0;
+  uint64_t ifetches = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t kernel_ifetches = 0;
+  uint64_t user_ifetches = 0;
+  uint64_t idle_instructions = 0;
+  uint64_t markers = 0;
+  uint64_t validation_errors = 0;
+};
+
+class TraceParser {
+ public:
+  // `kernel_table` may be null for user-only traces.
+  explicit TraceParser(const TraceInfoTable* kernel_table);
+
+  void SetUserTable(uint8_t pid, const TraceInfoTable* table);
+  void SetRefSink(std::function<void(const TraceRef&)> sink) { ref_sink_ = std::move(sink); }
+  void SetMetaSink(std::function<void(MarkerCode, uint32_t)> sink) {
+    meta_sink_ = std::move(sink);
+  }
+  // The parser starts in user context for `pid` (kKernelPid for kernel).
+  void SetInitialContext(uint8_t pid) { pid_ = pid; }
+
+  void Feed(const uint32_t* words, size_t count);
+  void Feed(const std::vector<uint32_t>& words) { Feed(words.data(), words.size()); }
+  // Declares end-of-trace: an in-flight block becomes a validation error.
+  void Finish();
+
+  const TraceParserStats& stats() const { return stats_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  struct BlockCursor {
+    const TraceBlockInfo* info = nullptr;
+    uint32_t next_inst = 0;  // Next original instruction index to fetch.
+    uint32_t next_mem = 0;   // Next entry of info->mem_ops awaiting data.
+    bool active() const { return info != nullptr; }
+  };
+
+  struct Context {
+    uint8_t pid = kKernelPid;
+    BlockCursor cursor;
+    bool idle = false;
+  };
+
+  void HandleMarker(uint32_t word);
+  void HandleOperand(uint32_t word);
+  void HandleKey(uint32_t word);
+  void HandleData(uint32_t word);
+  void EmitFetches();  // Advances the cursor to the next data dependency.
+  void EmitRef(const TraceRef& ref);
+  void RecordError(const std::string& message);
+  const TraceInfoTable* CurrentTable() const;
+
+  const TraceInfoTable* kernel_table_;
+  std::unordered_map<uint8_t, const TraceInfoTable*> user_tables_;
+
+  // Current context.
+  uint8_t pid_ = kKernelPid;
+  BlockCursor cursor_;
+  bool idle_ = false;
+
+  // Suspended user contexts (by pid) and nested kernel contexts (stack).
+  std::unordered_map<uint8_t, Context> suspended_users_;
+  std::vector<Context> kernel_stack_;
+  uint8_t last_suspended_user_ = kKernelPid;
+
+  // Marker operand in flight.
+  bool expecting_operand_ = false;
+  MarkerCode pending_marker_ = kMarkTraceOn;
+
+  std::function<void(const TraceRef&)> ref_sink_;
+  std::function<void(MarkerCode, uint32_t)> meta_sink_;
+  TraceParserStats stats_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_TRACE_PARSER_H_

@@ -1,0 +1,28 @@
+// The hand-written trace support routines the instrumented code calls.
+//
+// bbtrace and memtrace are the runtime half of epoxie: bbtrace records the
+// basic-block key and performs the only buffer-room check (the "li zero, N"
+// delay-slot no-op tells it how many words the whole block will write, so
+// memtrace never needs to check); memtrace partially decodes the delay-slot
+// instruction to compute and record the effective address.  Both preserve
+// every program register, restore ra before returning (paper §3.2), and are
+// themselves never traced (.notrace region).
+//
+// The same source serves user processes and the kernel: all addressing is
+// relative to xreg3 (the bookkeeping base), and the buffer-full path raises
+// a break exception that the kernel resolves for either mode (draining a
+// per-process buffer, or switching the system to trace-analysis mode).
+#ifndef WRLTRACE_TRACE_SUPPORT_ASM_H_
+#define WRLTRACE_TRACE_SUPPORT_ASM_H_
+
+#include <string>
+
+namespace wrl {
+
+// Returns the DS32 assembly source of bbtrace/memtrace.  Assemble and link
+// it into every traced image.
+std::string TraceSupportAsm();
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_TRACE_SUPPORT_ASM_H_

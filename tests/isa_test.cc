@@ -1,0 +1,178 @@
+#include "isa/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace wrl {
+namespace {
+
+TEST(RegNames, RoundTrip) {
+  for (uint8_t i = 0; i < 32; ++i) {
+    std::string dollar = std::string("$") + RegName(i);
+    auto parsed = ParseRegName(dollar);
+    ASSERT_TRUE(parsed.has_value()) << dollar;
+    EXPECT_EQ(*parsed, i);
+  }
+}
+
+TEST(RegNames, NumericForm) {
+  EXPECT_EQ(ParseRegName("$0"), kZero);
+  EXPECT_EQ(ParseRegName("$31"), kRa);
+  EXPECT_EQ(ParseRegName("$15"), kT7);
+  EXPECT_FALSE(ParseRegName("$32").has_value());
+  EXPECT_FALSE(ParseRegName("t0").has_value());
+  EXPECT_FALSE(ParseRegName("$").has_value());
+}
+
+TEST(RegNames, S8AliasesFp) { EXPECT_EQ(ParseRegName("$s8"), kFp); }
+
+TEST(Decode, RTypeFields) {
+  uint32_t word = EncodeRType(Op::kAddu, kT0, kT1, kT2, 0);
+  Inst inst = Decode(word);
+  EXPECT_EQ(inst.op, Op::kAddu);
+  EXPECT_EQ(inst.rs, kT0);
+  EXPECT_EQ(inst.rt, kT1);
+  EXPECT_EQ(inst.rd, kT2);
+}
+
+TEST(Decode, ITypeSignedImmediate) {
+  uint32_t word = EncodeIType(Op::kAddiu, kSp, kSp, static_cast<uint16_t>(-24));
+  Inst inst = Decode(word);
+  EXPECT_EQ(inst.op, Op::kAddiu);
+  EXPECT_EQ(inst.imm, -24);
+}
+
+TEST(Decode, JTypeTarget) {
+  uint32_t word = EncodeJType(Op::kJal, 0x12345);
+  Inst inst = Decode(word);
+  EXPECT_EQ(inst.op, Op::kJal);
+  EXPECT_EQ(inst.target, 0x12345u);
+}
+
+TEST(Decode, NopIsSllZero) {
+  Inst inst = Decode(0);
+  EXPECT_EQ(inst.op, Op::kSll);
+  EXPECT_EQ(Disassemble(inst, 0), "nop");
+}
+
+TEST(Decode, Regimm) {
+  EXPECT_EQ(Decode(EncodeIType(Op::kBltz, kA0, 0, 4)).op, Op::kBltz);
+  EXPECT_EQ(Decode(EncodeIType(Op::kBgez, kA0, 0, 4)).op, Op::kBgez);
+}
+
+TEST(Decode, Cop0Forms) {
+  EXPECT_EQ(Decode(EncodeCop0(Op::kMfc0, kK0, kCop0Status)).op, Op::kMfc0);
+  EXPECT_EQ(Decode(EncodeCop0(Op::kMtc0, kK0, kCop0EntryHi)).op, Op::kMtc0);
+  EXPECT_EQ(Decode(EncodeCop0(Op::kTlbwr, 0, 0)).op, Op::kTlbwr);
+  EXPECT_EQ(Decode(EncodeCop0(Op::kTlbwi, 0, 0)).op, Op::kTlbwi);
+  EXPECT_EQ(Decode(EncodeCop0(Op::kTlbp, 0, 0)).op, Op::kTlbp);
+  EXPECT_EQ(Decode(EncodeCop0(Op::kTlbr, 0, 0)).op, Op::kTlbr);
+  EXPECT_EQ(Decode(EncodeCop0(Op::kRfe, 0, 0)).op, Op::kRfe);
+}
+
+TEST(Decode, TrapCodeRoundTrip) {
+  uint32_t word = EncodeTrap(Op::kSyscall, 0x1234);
+  EXPECT_EQ(Decode(word).op, Op::kSyscall);
+  EXPECT_EQ(TrapCode(word), 0x1234u);
+  word = EncodeTrap(Op::kBreak, 7);
+  EXPECT_EQ(Decode(word).op, Op::kBreak);
+  EXPECT_EQ(TrapCode(word), 7u);
+}
+
+TEST(Decode, InvalidOpcode) {
+  EXPECT_EQ(Decode(0xffffffffu).op, Op::kInvalid);
+  // SPECIAL with an unassigned funct.
+  EXPECT_EQ(Decode(63u).op, Op::kInvalid);
+}
+
+TEST(Properties, LoadsAndStores) {
+  EXPECT_TRUE(IsLoad(Op::kLw));
+  EXPECT_TRUE(IsLoad(Op::kLbu));
+  EXPECT_FALSE(IsLoad(Op::kSw));
+  EXPECT_TRUE(IsStore(Op::kSb));
+  EXPECT_FALSE(IsStore(Op::kLw));
+  EXPECT_EQ(MemAccessBytes(Op::kLw), 4u);
+  EXPECT_EQ(MemAccessBytes(Op::kLh), 2u);
+  EXPECT_EQ(MemAccessBytes(Op::kSb), 1u);
+  EXPECT_EQ(MemAccessBytes(Op::kAddu), 0u);
+}
+
+TEST(Properties, ControlTransfer) {
+  EXPECT_TRUE(IsBranch(Op::kBeq));
+  EXPECT_TRUE(IsBranch(Op::kBgez));
+  EXPECT_FALSE(IsBranch(Op::kJ));
+  EXPECT_TRUE(IsJump(Op::kJal));
+  EXPECT_TRUE(IsIndirectJump(Op::kJr));
+  EXPECT_TRUE(HasDelaySlot(Op::kJalr));
+  EXPECT_FALSE(HasDelaySlot(Op::kSyscall));
+  EXPECT_TRUE(EndsBasicBlock(Op::kSyscall));
+  EXPECT_TRUE(EndsBasicBlock(Op::kBreak));
+  EXPECT_TRUE(EndsBasicBlock(Op::kRfe));
+  EXPECT_FALSE(EndsBasicBlock(Op::kAddu));
+}
+
+TEST(Properties, ArithStalls) {
+  EXPECT_TRUE(IsArithStall(Op::kMult));
+  EXPECT_TRUE(IsArithStall(Op::kDivu));
+  EXPECT_FALSE(IsArithStall(Op::kAddu));
+  EXPECT_GT(ArithStallCycles(Op::kDiv), ArithStallCycles(Op::kMult));
+}
+
+TEST(Properties, RegsReadWrite) {
+  // sw rt, off(rs) reads both.
+  Inst sw = Decode(EncodeIType(Op::kSw, kSp, kRa, 20));
+  EXPECT_EQ(RegsRead(sw), (1u << kSp) | (1u << kRa));
+  EXPECT_EQ(RegsWritten(sw), 0u);
+  // lw rt, off(rs) reads rs, writes rt.
+  Inst lw = Decode(EncodeIType(Op::kLw, kSp, kRa, 20));
+  EXPECT_EQ(RegsRead(lw), 1u << kSp);
+  EXPECT_EQ(RegsWritten(lw), 1u << kRa);
+  // jal writes ra.
+  Inst jal = Decode(EncodeJType(Op::kJal, 0));
+  EXPECT_EQ(RegsWritten(jal), 1u << kRa);
+  // Reads/writes of $zero are masked off.
+  Inst nop = Decode(0);
+  EXPECT_EQ(RegsRead(nop), 0u);
+  EXPECT_EQ(RegsWritten(nop), 0u);
+}
+
+TEST(Properties, BranchAndJumpTargets) {
+  EXPECT_EQ(BranchTarget(0x1000, 4), 0x1014u);
+  EXPECT_EQ(BranchTarget(0x1000, -1), 0x1000u);
+  EXPECT_EQ(JumpTarget(0x80000000, 0x20), 0x80000080u);
+}
+
+TEST(Disassemble, PaperFigure2Sequence) {
+  // The "before" column of the paper's Figure 2.
+  EXPECT_EQ(DisassembleWord(EncodeIType(Op::kAddiu, kSp, kSp, static_cast<uint16_t>(-24)), 0),
+            "addiu sp, sp, -24");
+  EXPECT_EQ(DisassembleWord(EncodeIType(Op::kSw, kSp, kRa, 20), 0), "sw ra, 20(sp)");
+  EXPECT_EQ(DisassembleWord(EncodeIType(Op::kSw, kSp, kA0, 24), 0), "sw a0, 24(sp)");
+}
+
+// Exhaustive encode/decode round-trip over register fields for a sample of
+// each format.
+class RoundTripTest : public ::testing::TestWithParam<uint8_t> {};
+
+TEST_P(RoundTripTest, RType) {
+  uint8_t r = GetParam();
+  Inst inst = Decode(EncodeRType(Op::kSubu, r, r, r, 0));
+  EXPECT_EQ(inst.op, Op::kSubu);
+  EXPECT_EQ(inst.rs, r);
+  EXPECT_EQ(inst.rt, r);
+  EXPECT_EQ(inst.rd, r);
+}
+
+TEST_P(RoundTripTest, IType) {
+  uint8_t r = GetParam();
+  Inst inst = Decode(EncodeIType(Op::kOri, r, r, 0xbeef));
+  EXPECT_EQ(inst.op, Op::kOri);
+  EXPECT_EQ(inst.rs, r);
+  EXPECT_EQ(inst.rt, r);
+  EXPECT_EQ(static_cast<uint16_t>(inst.imm), 0xbeef);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisters, RoundTripTest,
+                         ::testing::Range<uint8_t>(0, 32));
+
+}  // namespace
+}  // namespace wrl

@@ -1,0 +1,45 @@
+// Shared helpers for wrltrace tests: assemble/link tiny kernel-mode
+// programs and run them bare on the machine.
+#ifndef WRLTRACE_TESTS_TEST_UTIL_H_
+#define WRLTRACE_TESTS_TEST_UTIL_H_
+
+#include <string_view>
+
+#include "asm/assembler.h"
+#include "mach/machine.h"
+#include "obj/object_file.h"
+
+namespace wrl {
+
+// Links a single assembly source at the reset vector (kernel mode, kseg0).
+// The program starts executing at its first instruction.
+inline Executable BuildBareProgram(std::string_view source) {
+  ObjectFile obj = Assemble("test.s", source);
+  LinkOptions options;
+  options.text_base = kVecReset;
+  options.entry_symbol = "_start";
+  return Link({obj}, options);
+}
+
+// Loads a kseg0-linked executable into physical memory at its natural
+// physical addresses (paddr = vaddr - kseg0).
+inline void LoadBare(Machine& machine, const Executable& exe) {
+  machine.LoadImage(exe, [](uint32_t vaddr) { return vaddr - kKseg0; });
+  machine.SetPc(exe.entry);
+}
+
+// Assembles, links, loads, and runs `source` until halt (or the instruction
+// budget runs out).  Returns the machine for inspection.
+inline std::unique_ptr<Machine> RunBareProgram(std::string_view source,
+                                               uint64_t max_instructions = 1'000'000,
+                                               MachineConfig config = {}) {
+  Executable exe = BuildBareProgram(source);
+  auto machine = std::make_unique<Machine>(config);
+  LoadBare(*machine, exe);
+  machine->Run(max_instructions);
+  return machine;
+}
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_TESTS_TEST_UTIL_H_
