@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   printf("=== In-kernel buffer sizing vs analysis-mode switches ===\n");
   printf("%-10s %10s %14s %16s\n", "buffer", "switches", "traced instrs", "instrs/switch");
 
+  std::map<std::string, double> metrics;
   double per_mb = 0;
   for (uint32_t kb : {192u, 384u, 768u, 1536u}) {
     SystemConfig config;
@@ -37,6 +38,10 @@ int main(int argc, char** argv) {
     double per_switch = switches ? static_cast<double>(instrs) / switches : 0;
     printf("%7uKB %10llu %14llu %16.0f\n", kb, static_cast<unsigned long long>(switches),
            static_cast<unsigned long long>(instrs), per_switch);
+    std::string key = "buf" + std::to_string(kb) + "kb";
+    metrics[key + ".switches"] = static_cast<double>(switches);
+    metrics[key + ".instructions"] = static_cast<double>(instrs);
+    metrics[key + ".instrs_per_switch"] = per_switch;
     if (switches > 0) {
       per_mb = per_switch / (kb / 1024.0);
     }
@@ -46,6 +51,8 @@ int main(int argc, char** argv) {
            per_mb * 64 / 1e6);
     printf("analysis phases (the paper reports ~32M; the ratio depends on the\n");
     printf("workload's trace density).\n");
+    metrics["extrapolated_instrs_per_64mb"] = per_mb * 64;
   }
+  MaybeWriteMetricsReport(argc, argv, "bench_buffer", scale, metrics);
   return 0;
 }

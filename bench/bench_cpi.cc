@@ -13,18 +13,24 @@ int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
   printf("=== Kernel vs user CPI from trace-driven cache simulation ===\n");
   printf("%-10s %9s %9s %7s\n", "workload", "user CPI", "kern CPI", "ratio");
+  EventRecorder events;
+  std::vector<ExperimentResult> results;
   const char* names[] = {"sed", "egrep", "compress", "yacc"};
   for (const char* name : names) {
     WorkloadSpec w = PaperWorkload(name, scale);
     ExperimentOptions options;
+    options.events = &events;
     ExperimentResult r = RunExperiment(w, options);
+    PrintResultWarnings(r, stderr);
     double ratio = r.prediction.UserCpi() > 0
                        ? r.prediction.KernelCpi() / r.prediction.UserCpi()
                        : 0;
     printf("%-10s %9.3f %9.3f %6.2fx\n", name, r.prediction.UserCpi(),
            r.prediction.KernelCpi(), ratio);
+    results.push_back(std::move(r));
   }
   printf("\n(the paper's Tunix experiments saw kernel CPI ~ 3x user CPI; the exact\n");
   printf("ratio depends on workload locality and the cache configuration)\n");
+  MaybeWriteRunReport(argc, argv, "bench_cpi", scale, results, &events);
   return 0;
 }

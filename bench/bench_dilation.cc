@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   printf("=== Time dilation of the traced system (scale %.2f) ===\n", scale);
   printf("%-10s %14s %14s %9s\n", "workload", "untraced cyc", "traced cyc", "dilation");
   const char* names[] = {"sed", "egrep", "espresso", "lisp", "fpppp", "liv"};
+  EventRecorder events;
+  std::map<std::string, double> metrics;
   double sum = 0;
   int count = 0;
   for (const char* name : names) {
@@ -24,25 +26,43 @@ int main(int argc, char** argv) {
     base.files = w.files;
 
     auto untraced = BuildSystem(base);
-    untraced->Run(3'000'000'000ull);
+    {
+      events.SetCycleSource(
+          [m = &untraced->machine()]() -> uint64_t { return m->cycles(); });
+      EventRecorder::Scope scope(&events, std::string("run.untraced:") + name, "run");
+      untraced->Run(3'000'000'000ull);
+    }
 
     SystemConfig traced_cfg = base;
     traced_cfg.tracing = true;
     traced_cfg.clock_period = base.clock_period * 15;
     auto traced = BuildSystem(traced_cfg);
     traced->SetTraceSink([](const uint32_t*, size_t) {});
-    traced->Run(3'000'000'000ull);
+    {
+      events.SetCycleSource(
+          [m = &traced->machine()]() -> uint64_t { return m->cycles(); });
+      EventRecorder::Scope scope(&events, std::string("run.traced:") + name, "run");
+      traced->Run(3'000'000'000ull);
+    }
 
     double dilation = static_cast<double>(traced->ProcessCycles(1)) /
                       static_cast<double>(untraced->ProcessCycles(1));
     printf("%-10s %14llu %14llu %8.1fx\n", name,
            static_cast<unsigned long long>(untraced->ProcessCycles(1)),
            static_cast<unsigned long long>(traced->ProcessCycles(1)), dilation);
+    metrics[std::string(name) + ".untraced_cycles"] =
+        static_cast<double>(untraced->ProcessCycles(1));
+    metrics[std::string(name) + ".traced_cycles"] =
+        static_cast<double>(traced->ProcessCycles(1));
+    metrics[std::string(name) + ".dilation"] = dilation;
     sum += dilation;
     ++count;
   }
   printf("\nmean dilation: %.1fx (the paper's systems: about fifteen; the clock is\n",
          sum / count);
   printf("scaled to 1/15th rate to compensate, as in 4.1)\n");
+  events.SetCycleSource(nullptr);
+  metrics["dilation_mean"] = sum / count;
+  MaybeWriteMetricsReport(argc, argv, "bench_dilation", scale, metrics, &events);
   return 0;
 }

@@ -3,12 +3,13 @@
 #include <cstdio>
 
 #include "asm/assembler.h"
+#include "bench/bench_util.h"
 #include "epoxie/epoxie.h"
 #include "isa/isa.h"
 
 using namespace wrl;
 
-int main() {
+int main(int argc, char** argv) {
   const char* before = R"(
         .globl fopen
 fopen:  addiu $sp, $sp, -24
@@ -38,5 +39,11 @@ _findiop:
   printf("\n(jal targets are unresolved until link time; the 'ori zero, zero, N'\n");
   printf("delay-slot no-ops carry each block's trace word count, and the sw/lw\n");
   printf("through $t7 address the tracing bookkeeping area, as in the paper.)\n");
+
+  std::map<std::string, double> metrics;
+  metrics["fopen.original_text_words"] = result.original_text_words;
+  metrics["fopen.instrumented_text_words"] = result.instrumented_text_words;
+  metrics["fopen.text_growth"] = result.TextGrowthFactor();
+  MaybeWriteMetricsReport(argc, argv, "bench_figure2", 0, metrics);
   return 0;
 }

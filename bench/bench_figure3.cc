@@ -12,7 +12,8 @@ using namespace wrl;
 int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
   printf("=== Figure 3: Error in predicted execution times for Ultrix (scale %.2f) ===\n", scale);
-  std::vector<ExperimentResult> results = RunPersonalitySuite(Personality::kUltrix, scale);
+  EventRecorder events;
+  std::vector<ExperimentResult> results = RunPersonalitySuite(Personality::kUltrix, scale, &events);
   printf("%-10s %8s  (one '#' per half percent of |error|)\n", "workload", "error");
   double worst = 0;
   for (const ExperimentResult& r : results) {
@@ -26,5 +27,6 @@ int main(int argc, char** argv) {
     putchar('\n');
   }
   printf("\nworst |error| = %.2f%%\n", worst);
+  MaybeWriteRunReport(argc, argv, "bench_figure3", scale, results, &events);
   return 0;
 }

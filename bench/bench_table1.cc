@@ -13,21 +13,32 @@ int main(int argc, char** argv) {
   printf("=== Table 1: Experimental workloads (scale %.2f) ===\n", scale);
   printf("%-10s %-12s %12s %9s  %s\n", "workload", "class", "user instrs", "seconds",
          "description");
+  EventRecorder events;
+  std::map<std::string, double> metrics;
   for (const WorkloadSpec& w : PaperWorkloads(scale)) {
     SystemConfig config;
     config.program_source = w.source;
     config.program_name = w.name;
     config.files = w.files;
     auto sys = BuildSystem(config);
+    events.SetCycleSource(
+        [m = &sys->machine()]() -> uint64_t { return m->cycles(); });
+    EventRecorder::Scope scope(&events, "run:" + w.name, "run");
     RunResult r = sys->Run(3'000'000'000ull);
     if (!r.halted) {
       printf("%-10s DID NOT HALT\n", w.name.c_str());
       continue;
     }
+    double seconds = static_cast<double>(sys->ProcessCycles(1)) / 25e6;
     printf("%-10s %-12s %12llu %9.4f  %s\n", w.name.c_str(),
            w.fp_intensive ? "fp" : "integer",
            static_cast<unsigned long long>(sys->machine().user_instructions()),
-           static_cast<double>(sys->ProcessCycles(1)) / 25e6, w.description.c_str());
+           seconds, w.description.c_str());
+    metrics[w.name + ".user_instructions"] =
+        static_cast<double>(sys->machine().user_instructions());
+    metrics[w.name + ".seconds"] = seconds;
   }
+  events.SetCycleSource(nullptr);
+  MaybeWriteMetricsReport(argc, argv, "bench_table1", scale, metrics, &events);
   return 0;
 }

@@ -12,8 +12,9 @@ int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
   double hz = 25e6;
   printf("=== Table 2: Run Times, measured and predicted, in seconds (scale %.2f) ===\n", scale);
-  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale);
-  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale);
+  EventRecorder events;
+  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale, &events);
+  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale, &events);
 
   printf("%-10s | %21s | %21s\n", "", "Ultrix", "Mach 3.0");
   printf("%-10s | %10s %10s | %10s %10s\n", "workload", "measured", "predicted", "measured",
@@ -33,5 +34,9 @@ int main(int argc, char** argv) {
     errors += r.parser_errors;
   }
   printf("%llu)\n", static_cast<unsigned long long>(errors));
+
+  std::vector<ExperimentResult> all = ultrix;
+  all.insert(all.end(), mach.begin(), mach.end());
+  MaybeWriteRunReport(argc, argv, "bench_table2", scale, all, &events);
   return errors == 0 ? 0 : 1;
 }

@@ -13,8 +13,9 @@ using namespace wrl;
 int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
   printf("=== Table 3: TLB misses, measured and predicted (scale %.2f) ===\n", scale);
-  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale);
-  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale);
+  EventRecorder events;
+  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale, &events);
+  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale, &events);
 
   printf("%-10s | %21s | %21s\n", "", "Mach 3.0", "Ultrix");
   printf("%-10s | %10s %10s | %10s %10s\n", "workload", "predicted", "measured", "predicted",
@@ -46,5 +47,9 @@ int main(int argc, char** argv) {
          ratio_count ? std::exp(log_ratio_sum / ratio_count) : 0.0);
   printf("(the paper's gap is larger still: its UX server is a full UNIX server\n");
   printf("whose text/data dwarf our reconstruction's)\n");
+
+  std::vector<ExperimentResult> all = ultrix;
+  all.insert(all.end(), mach.begin(), mach.end());
+  MaybeWriteRunReport(argc, argv, "bench_table3", scale, all, &events);
   return 0;
 }

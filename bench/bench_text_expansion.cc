@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   printf("=== Text expansion: epoxie vs pixie-style instrumentation ===\n");
   printf("%-10s %10s %10s %10s\n", "binary", "words", "epoxie", "pixie");
 
-  auto measure = [](const char* name, const ObjectFile& obj) {
+  std::map<std::string, double> metrics;
+  auto measure = [&metrics](const char* name, const ObjectFile& obj) {
     EpoxieConfig e;
     EpoxieConfig p;
     p.mode = InstrumentMode::kPixie;
@@ -24,6 +25,9 @@ int main(int argc, char** argv) {
     InstrumentResult rp = Instrument(obj, p);
     printf("%-10s %10u %9.2fx %9.2fx\n", name, re.original_text_words, re.TextGrowthFactor(),
            rp.TextGrowthFactor());
+    metrics[std::string(name) + ".text_words"] = re.original_text_words;
+    metrics[std::string(name) + ".epoxie_growth"] = re.TextGrowthFactor();
+    metrics[std::string(name) + ".pixie_growth"] = rp.TextGrowthFactor();
     return std::make_pair(re, rp);
   };
 
@@ -43,5 +47,8 @@ int main(int argc, char** argv) {
 
   printf("\nworkload averages: epoxie %.2fx (paper: 1.9-2.3x), pixie-style %.2fx (paper: 4-6x)\n",
          esum / count, psum / count);
+  metrics["workloads.epoxie_growth_mean"] = esum / count;
+  metrics["workloads.pixie_growth_mean"] = psum / count;
+  MaybeWriteMetricsReport(argc, argv, "bench_text_expansion", scale, metrics);
   return 0;
 }

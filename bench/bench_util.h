@@ -1,14 +1,18 @@
-// Shared plumbing for the experiment benches: scale handling and suite
-// caching so a single binary regenerating one table doesn't pay twice.
+// Shared plumbing for the experiment benches: scale handling, the --json
+// report emitter, and suite running with loud warning surfacing.
 #ifndef WRLTRACE_BENCH_BENCH_UTIL_H_
 #define WRLTRACE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/report.h"
+#include "stats/events.h"
+#include "support/error.h"
 #include "workloads/workloads.h"
 
 namespace wrl {
@@ -29,16 +33,80 @@ inline double BenchScale(int argc, char** argv) {
   return scale <= 0 ? 0.2 : scale;
 }
 
-inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality, double scale) {
+// Report destination: --json=PATH, --json PATH, or WRL_JSON env.  Empty
+// when no machine-readable report was requested.
+inline std::string BenchJsonPath(int argc, char** argv) {
+  std::string path;
+  if (const char* env = std::getenv("WRL_JSON")) {
+    path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      path = argv[i + 1];
+    }
+  }
+  return path;
+}
+
+inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality, double scale,
+                                                         EventRecorder* events = nullptr) {
   ExperimentOptions options;
   options.personality = personality;
+  options.events = events;
   std::vector<ExperimentResult> results;
   for (const WorkloadSpec& w : PaperWorkloads(scale)) {
     fprintf(stderr, "  running %-9s (%s)...\n", w.name.c_str(),
             personality == Personality::kUltrix ? "ultrix" : "mach");
     results.push_back(RunExperiment(w, options));
+    PrintResultWarnings(results.back(), stderr);
   }
   return results;
+}
+
+// Emits the full run report when --json was requested.  Returns true when a
+// report was written.
+inline bool MaybeWriteRunReport(int argc, char** argv, const char* tool, double scale,
+                                const std::vector<ExperimentResult>& results,
+                                const EventRecorder* events = nullptr) {
+  std::string path = BenchJsonPath(argc, argv);
+  if (path.empty()) {
+    return false;
+  }
+  RunReportOptions options;
+  options.tool = tool;
+  options.scale = scale;
+  static const std::vector<TimelineEvent> kNoEvents;
+  try {
+    WriteRunReport(path, results, events != nullptr ? events->events() : kNoEvents, options);
+  } catch (const Error& e) {
+    fprintf(stderr, "error: %s\n", e.what());
+    std::exit(1);
+  }
+  fprintf(stderr, "wrote run report to %s\n", path.c_str());
+  return true;
+}
+
+// Emits the flat metrics-only report when --json was requested.
+inline bool MaybeWriteMetricsReport(int argc, char** argv, const char* tool, double scale,
+                                    const std::map<std::string, double>& metrics,
+                                    const EventRecorder* events = nullptr) {
+  std::string path = BenchJsonPath(argc, argv);
+  if (path.empty()) {
+    return false;
+  }
+  static const std::vector<TimelineEvent> kNoEvents;
+  try {
+    WriteMetricsReport(path, tool, metrics, events != nullptr ? events->events() : kNoEvents,
+                       scale);
+  } catch (const Error& e) {
+    fprintf(stderr, "error: %s\n", e.what());
+    std::exit(1);
+  }
+  fprintf(stderr, "wrote metrics report to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace wrl

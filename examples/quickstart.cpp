@@ -54,7 +54,16 @@ buf:    .space 16
     printf("  %-28s | %-28s %s\n", left.c_str(), right.c_str(), match ? "" : "  <-- MISMATCH");
   }
   printf("\n%zu references, parser errors: %zu\n", cmp.parsed.size(), cmp.parser_errors.size());
+  if (!cmp.parser_errors.empty()) {
+    fprintf(stderr, "*** WARNING: %zu parser errors — the software trace diverged from the "
+            "hardware reference ***\n",
+            cmp.parser_errors.size());
+    for (const std::string& e : cmp.parser_errors) {
+      fprintf(stderr, "***   %s ***\n", e.c_str());
+    }
+    return 1;
+  }
   printf("(every line matches: the software trace is exact — the paper's §4.3\n");
   printf("validation against an independent CPU simulator)\n");
-  return cmp.parser_errors.empty() ? 0 : 1;
+  return 0;
 }

@@ -105,5 +105,11 @@ buf:    .space 24576
          static_cast<unsigned long long>(s.validation_errors));
   printf("kernel UTLB counter:   %llu (the handler itself is untraced)\n",
          static_cast<unsigned long long>(sys->UtlbMissCount()));
-  return s.validation_errors == 0 ? 0 : 1;
+  if (s.validation_errors > 0) {
+    fprintf(stderr, "*** WARNING: %llu trace validation errors — the reconstructed trace "
+            "is suspect ***\n",
+            static_cast<unsigned long long>(s.validation_errors));
+    return 1;
+  }
+  return 0;
 }

@@ -3,12 +3,21 @@
 // size over one workload's trace and watch the miss curve, then compare the
 // 64-entry point against the real kernel counter.
 //
-//   $ ./build/examples/tlb_study
+//   $ ./build/examples/tlb_study [--json report.json]
+//
+// With --json the run emits a wrlstats/1 report: the full counter-registry
+// snapshot of the traced and measured systems, the sweep's miss curve, and
+// the event timeline (load the file in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "kernel/system_build.h"
 #include "sim/tlb_sim.h"
+#include "stats/events.h"
+#include "stats/stats.h"
+#include "support/json.h"
 #include "trace/parser.h"
 #include "workloads/workloads.h"
 
@@ -54,26 +63,32 @@ class SweepTlb {
 
 }  // namespace
 
-int main() {
-  WorkloadSpec w = PaperWorkload("eqntott", 0.15);  // The TLB-hostile one.
+int main(int argc, char** argv) {
+  std::string json_path = BenchJsonPath(argc, argv);
+  constexpr double kScale = 0.15;
+  WorkloadSpec w = PaperWorkload("eqntott", kScale);  // The TLB-hostile one.
   printf("collecting the system trace of %s...\n", w.name.c_str());
 
+  EventRecorder events;
   SystemConfig config;
   config.tracing = true;
   config.clock_period = 200000 * 15;
   config.program_source = w.source;
   config.program_name = w.name;
   config.files = w.files;
+  config.events = &events;
   auto sys = BuildSystem(config);
 
+  const unsigned sizes[] = {8, 16, 32, 64, 128, 256};
   std::vector<SweepTlb> sweeps;
-  for (unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u}) {
+  for (unsigned entries : sizes) {
     sweeps.emplace_back(entries);
   }
   TlbSimulator production;  // The faithful 64-entry model.
   TraceParser parser(&sys->kernel_table());
   parser.SetUserTable(1, &sys->user_table());
   parser.SetInitialContext(kKernelPid);
+  parser.SetEventRecorder(&events);
   parser.SetRefSink([&](const TraceRef& ref) {
     production.OnRef(ref);
     for (SweepTlb& t : sweeps) {
@@ -81,15 +96,24 @@ int main() {
     }
   });
   sys->SetTraceSink([&parser](const uint32_t* words, size_t n) { parser.Feed(words, n); });
-  RunResult r = sys->Run(3'000'000'000ull);
-  parser.Finish();
+  RunResult r;
+  {
+    events.SetCycleSource([m = &sys->machine()]() -> uint64_t { return m->cycles(); });
+    EventRecorder::Scope scope(&events, "run.traced:eqntott", "run");
+    r = sys->Run(3'000'000'000ull);
+    parser.Finish();
+  }
   if (!r.halted) {
     printf("did not halt!\n");
     return 1;
   }
+  if (parser.stats().validation_errors > 0) {
+    fprintf(stderr, "*** WARNING: %llu trace validation errors — the reconstructed trace "
+            "is suspect ***\n",
+            static_cast<unsigned long long>(parser.stats().validation_errors));
+  }
 
   printf("\n%-10s %12s\n", "entries", "misses");
-  unsigned sizes[] = {8, 16, 32, 64, 128, 256};
   for (size_t i = 0; i < sweeps.size(); ++i) {
     printf("%8u   %12llu\n", sizes[i], static_cast<unsigned long long>(sweeps[i].misses()));
   }
@@ -101,8 +125,63 @@ int main() {
   untraced.tracing = false;
   untraced.clock_period = 200000;
   auto measured = BuildSystem(untraced);
-  measured->Run(3'000'000'000ull);
+  {
+    events.SetCycleSource([m = &measured->machine()]() -> uint64_t { return m->cycles(); });
+    EventRecorder::Scope scope(&events, "run.measured:eqntott", "run");
+    measured->Run(3'000'000'000ull);
+  }
+  events.SetCycleSource(nullptr);
   printf("measured on the uninstrumented system (kernel counter): %llu misses\n",
          static_cast<unsigned long long>(measured->UtlbMissCount()));
+
+  if (!json_path.empty()) {
+    // The wrlstats report: everything above, machine-readable.
+    StatsRegistry registry;
+    sys->RegisterStats(registry, "traced.");
+    measured->RegisterStats(registry, "measured.");
+    parser.RegisterStats(registry, "parser.");
+    production.RegisterStats(registry, "tlbsim.");
+    for (size_t i = 0; i < sweeps.size(); ++i) {
+      const SweepTlb* sweep = &sweeps[i];
+      registry.AddGauge("sweep.entries_" + std::to_string(sizes[i]) + ".misses",
+                        [sweep] { return static_cast<double>(sweep->misses()); });
+    }
+    StatsSnapshot snapshot = registry.Snapshot();
+
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.KV("schema", "wrlstats/1");
+    writer.KV("tool", "tlb_study");
+    writer.KV("scale", kScale);
+    writer.KV("clock_hz", 25e6);
+    writer.Key("metrics").BeginObject();
+    writer.KV("eqntott.measured_cycles", static_cast<double>(measured->machine().cycles()));
+    writer.KV("eqntott.measured_utlb_misses", static_cast<double>(measured->UtlbMissCount()));
+    writer.KV("eqntott.simulated_utlb_misses",
+              static_cast<double>(production.stats().utlb_misses));
+    writer.KV("eqntott.parser_errors",
+              static_cast<double>(parser.stats().validation_errors));
+    for (size_t i = 0; i < sweeps.size(); ++i) {
+      writer.KV("eqntott.sweep.entries_" + std::to_string(sizes[i]) + ".misses",
+                static_cast<double>(sweeps[i].misses()));
+    }
+    writer.EndObject();
+    writer.Key("counters");
+    snapshot.WriteJson(writer);
+    writer.Key("traceEvents").BeginArray();
+    WriteChromeTraceEvents(writer, events.events());
+    writer.EndArray();
+    writer.EndObject();
+
+    std::string json = writer.TakeString();
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size() ||
+        std::fclose(file) != 0) {
+      fprintf(stderr, "cannot write report to %s\n", json_path.c_str());
+      return 1;
+    }
+    fprintf(stderr, "wrote run report to %s\n", json_path.c_str());
+  }
   return 0;
 }

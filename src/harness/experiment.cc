@@ -8,7 +8,7 @@ namespace wrl {
 namespace {
 
 SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& options,
-                        bool tracing) {
+                        bool tracing, EventRecorder* events) {
   SystemConfig config;
   config.personality = options.personality;
   config.tracing = tracing;
@@ -19,6 +19,7 @@ SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& o
   config.program_name = workload.name;
   config.files = workload.files;
   config.trace_buf_bytes = options.trace_buf_bytes;
+  config.events = events;
   if (options.personality == Personality::kMach) {
     config.policy = PagePolicy::kScrambled;
     config.policy_mult = 9;
@@ -28,16 +29,49 @@ SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& o
 
 }  // namespace
 
+std::vector<std::string> ExperimentResult::Warnings() const {
+  std::vector<std::string> warnings;
+  if (parser_errors > 0) {
+    warnings.push_back(StrFormat(
+        "WARNING: '%s' had %llu trace parser validation error(s) — the "
+        "reconstructed reference stream (and every prediction from it) is suspect",
+        workload.c_str(), static_cast<unsigned long long>(parser_errors)));
+  }
+  if (DegeneratePrediction()) {
+    warnings.push_back(StrFormat(
+        "WARNING: '%s' prediction is degenerate: predicted 0 cycles against "
+        "%llu measured — the trace produced no usable references",
+        workload.c_str(), static_cast<unsigned long long>(measured_cycles)));
+  }
+  return warnings;
+}
+
 ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOptions& options) {
   ExperimentResult result;
   result.workload = workload.name;
   result.personality = options.personality;
 
+  // Timeline: a private recorder unless the caller shares one for the suite.
+  // The experiment phase is opened/closed manually so the completed event is
+  // harvestable into result.timeline; a thrown Error abandons the recorder.
+  EventRecorder local_events;
+  EventRecorder* events = options.events != nullptr ? options.events : &local_events;
+  events->Begin("experiment:" + workload.name, "experiment");
+
   // ---- Measured: the uninstrumented system with the hardware timer ----
-  auto measured = BuildSystem(MakeConfig(workload, options, false));
+  std::unique_ptr<SystemInstance> measured;
+  {
+    EventRecorder::Scope scope(events, "build.measured", "build");
+    measured = BuildSystem(MakeConfig(workload, options, false, events));
+  }
   auto [idle_lo, idle_hi] = measured->IdleRange();
   measured->machine().SetIdleRange(idle_lo, idle_hi);
-  RunResult mr = measured->Run(options.max_instructions);
+  events->SetCycleSource([machine = &measured->machine()] { return machine->cycles(); });
+  RunResult mr;
+  {
+    EventRecorder::Scope scope(events, "run.measured", "run");
+    mr = measured->Run(options.max_instructions);
+  }
   if (!mr.halted) {
     throw Error(StrFormat("measured run of '%s' did not halt (pc=0x%08x)",
                           workload.name.c_str(), measured->machine().pc()));
@@ -50,7 +84,11 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   result.exit_code = measured->ProcessExitCode(1);
 
   // ---- Predicted: the traced system driving the analysis program ----
-  auto traced = BuildSystem(MakeConfig(workload, options, true));
+  std::unique_ptr<SystemInstance> traced;
+  {
+    EventRecorder::Scope scope(events, "build.traced", "build");
+    traced = BuildSystem(MakeConfig(workload, options, true, events));
+  }
 
   PredictorConfig pconfig;
   pconfig.dilation = options.dilation;
@@ -75,10 +113,16 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   }
   parser.SetInitialContext(kKernelPid);
   parser.SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
+  parser.SetEventRecorder(events);
   traced->SetTraceSink(
       [&parser](const uint32_t* words, size_t count) { parser.Feed(words, count); });
 
-  RunResult tr = traced->Run(options.max_instructions);
+  events->SetCycleSource([machine = &traced->machine()] { return machine->cycles(); });
+  RunResult tr;
+  {
+    EventRecorder::Scope scope(events, "run.traced", "run");
+    tr = traced->Run(options.max_instructions);
+  }
   if (!tr.halted) {
     throw Error(StrFormat("traced run of '%s' did not halt (pc=0x%08x)", workload.name.c_str(),
                           traced->machine().pc()));
@@ -92,6 +136,21 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   if (traced->ProcessExitCode(1) != result.exit_code) {
     throw Error(StrFormat("'%s': traced exit code %u != measured %u — tracing distorted behavior",
                           workload.name.c_str(), traced->ProcessExitCode(1), result.exit_code));
+  }
+
+  // ---- Registry snapshot across every layer of both runs ----
+  // Must happen before the SystemInstances go out of scope: the registry
+  // bindings point into them.
+  StatsRegistry registry;
+  measured->RegisterStats(registry, "measured.");
+  traced->RegisterStats(registry, "traced.");
+  parser.RegisterStats(registry, "parser.");
+  simulator.RegisterStats(registry, "predicted.");
+  result.stats = registry.Snapshot();
+  events->End();  // experiment:<name>
+  events->SetCycleSource(nullptr);
+  if (events == &local_events) {
+    result.timeline = local_events.TakeEvents();
   }
   return result;
 }

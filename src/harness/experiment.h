@@ -7,11 +7,14 @@
 #ifndef WRLTRACE_HARNESS_EXPERIMENT_H_
 #define WRLTRACE_HARNESS_EXPERIMENT_H_
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "kernel/system_build.h"
 #include "sim/predictor.h"
+#include "stats/events.h"
+#include "stats/stats.h"
 #include "workloads/workloads.h"
 
 namespace wrl {
@@ -26,6 +29,10 @@ struct ExperimentOptions {
   uint64_t max_instructions = 3'000'000'000;
   // Simulated clock frequency used only to render cycles as seconds.
   double clock_hz = 25e6;
+  // Optional shared timeline: build/run/analysis phases and trace drains
+  // are recorded here.  When null the experiment records into a private
+  // recorder and moves the events into ExperimentResult::timeline.
+  EventRecorder* events = nullptr;
 };
 
 struct ExperimentResult {
@@ -47,15 +54,33 @@ struct ExperimentResult {
   uint64_t parser_errors = 0;
   uint64_t analysis_switches = 0;
 
+  // Full registry snapshot across both runs: `measured.*` and `traced.*`
+  // system counters, `parser.*`, and `predicted.*` analysis counters.
+  StatsSnapshot stats;
+  // The experiment's phase timeline (empty when ExperimentOptions::events
+  // supplied a shared recorder — the caller owns the events then).
+  std::vector<TimelineEvent> timeline;
+
   double MeasuredSeconds(double hz) const { return static_cast<double>(measured_cycles) / hz; }
   double PredictedSeconds(double hz) const { return prediction.PredictedCycles() / hz; }
+  // A degenerate prediction: the analysis produced no cycles for a workload
+  // the hardware measurably ran — the error percentage is meaningless.
+  bool DegeneratePrediction() const {
+    return prediction.PredictedCycles() <= 0 && measured_cycles != 0;
+  }
   double TimeErrorPercent() const {
+    double predicted = prediction.PredictedCycles();
     if (measured_cycles == 0) {
-      return 0;
+      // No measured baseline to compare against: agreement is 0; a nonzero
+      // prediction against a zero measurement has unbounded error.
+      return predicted <= 0 ? 0 : std::numeric_limits<double>::infinity();
     }
-    return 100.0 * (prediction.PredictedCycles() - static_cast<double>(measured_cycles)) /
+    return 100.0 * (predicted - static_cast<double>(measured_cycles)) /
            static_cast<double>(measured_cycles);
   }
+  // Human-readable warnings that must not pass silently: parser validation
+  // errors and degenerate predictions.
+  std::vector<std::string> Warnings() const;
 };
 
 // Runs one workload through both systems.

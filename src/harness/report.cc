@@ -1,0 +1,193 @@
+#include "harness/report.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace wrl {
+
+namespace {
+
+const char* PersonalityName(Personality personality) {
+  return personality == Personality::kUltrix ? "ultrix" : "mach";
+}
+
+std::string MetricKey(const ExperimentResult& result, const char* leaf) {
+  return StrFormat("%s.%s.%s", PersonalityName(result.personality), result.workload.c_str(),
+                   leaf);
+}
+
+// The flat perf-trajectory record: one double per headline number.
+std::map<std::string, double> FlatMetrics(const std::vector<ExperimentResult>& results,
+                                          const RunReportOptions& options) {
+  std::map<std::string, double> metrics;
+  for (const ExperimentResult& r : results) {
+    metrics[MetricKey(r, "measured_seconds")] = r.MeasuredSeconds(options.clock_hz);
+    metrics[MetricKey(r, "predicted_seconds")] = r.PredictedSeconds(options.clock_hz);
+    metrics[MetricKey(r, "time_error_percent")] = r.TimeErrorPercent();
+    metrics[MetricKey(r, "measured_utlb_misses")] = static_cast<double>(r.measured_utlb);
+    metrics[MetricKey(r, "predicted_utlb_misses")] =
+        static_cast<double>(r.prediction.utlb_misses);
+    metrics[MetricKey(r, "trace_words")] = static_cast<double>(r.trace_words);
+    metrics[MetricKey(r, "parser_errors")] = static_cast<double>(r.parser_errors);
+  }
+  return metrics;
+}
+
+void WriteMetricsObject(JsonWriter& writer, const std::map<std::string, double>& metrics) {
+  writer.Key("metrics").BeginObject();
+  for (const auto& [key, value] : metrics) {
+    writer.KV(key, value);
+  }
+  writer.EndObject();
+}
+
+void WriteHeader(JsonWriter& writer, const std::string& tool, double scale) {
+  writer.KV("schema", "wrlstats/1");
+  writer.KV("tool", tool);
+  if (scale > 0) {
+    writer.KV("scale", scale);
+  }
+}
+
+void WriteExperiment(JsonWriter& writer, const ExperimentResult& r,
+                     const RunReportOptions& options) {
+  writer.BeginObject();
+  writer.KV("workload", r.workload);
+  writer.KV("personality", PersonalityName(r.personality));
+  writer.KV("exit_code", static_cast<uint64_t>(r.exit_code));
+
+  writer.Key("measured").BeginObject();
+  writer.KV("cycles", r.measured_cycles);
+  writer.KV("seconds", r.MeasuredSeconds(options.clock_hz));
+  writer.KV("utlb_misses", r.measured_utlb);
+  writer.KV("idle_instructions", r.measured_idle_instructions);
+  writer.KV("tlb_dropins", r.measured_tlbdropins);
+  writer.KV("user_instructions", r.measured_user_instructions);
+  writer.EndObject();
+
+  writer.Key("predicted").BeginObject();
+  writer.KV("cycles", r.prediction.PredictedCycles());
+  writer.KV("seconds", r.PredictedSeconds(options.clock_hz));
+  writer.KV("utlb_misses", r.prediction.utlb_misses);
+  writer.KV("instructions", r.prediction.instructions);
+  writer.KV("idle_instructions", r.prediction.idle_instructions);
+  writer.KV("mem_stall_cycles", r.prediction.mem_stall_cycles);
+  writer.KV("arith_stall_cycles", r.prediction.arith_stall_cycles);
+  writer.KV("io_stall_cycles", r.prediction.io_stall_cycles);
+  writer.KV("synthesized_refs", r.prediction.synthesized_refs);
+  writer.KV("user_cpi", r.prediction.UserCpi());
+  writer.KV("kernel_cpi", r.prediction.KernelCpi());
+  writer.EndObject();
+
+  writer.Key("delta").BeginObject();
+  writer.KV("time_error_percent", r.TimeErrorPercent());
+  double measured_utlb = static_cast<double>(r.measured_utlb);
+  writer.KV("utlb_error_percent",
+            measured_utlb == 0
+                ? 0.0
+                : 100.0 * (static_cast<double>(r.prediction.utlb_misses) - measured_utlb) /
+                      measured_utlb);
+  writer.KV("degenerate_prediction", r.DegeneratePrediction());
+  writer.EndObject();
+
+  writer.Key("trace").BeginObject();
+  writer.KV("words", r.trace_words);
+  writer.KV("parser_errors", r.parser_errors);
+  writer.KV("analysis_switches", r.analysis_switches);
+  writer.KV("traced_machine_instructions", r.traced_machine_instructions);
+  writer.EndObject();
+
+  writer.Key("counters");
+  r.stats.WriteJson(writer);
+
+  std::vector<std::string> warnings = r.Warnings();
+  writer.Key("warnings").BeginArray();
+  for (const std::string& warning : warnings) {
+    writer.Value(warning);
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw Error(StrFormat("cannot open report file '%s' for writing", path.c_str()));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok) {
+    throw Error(StrFormat("short write to report file '%s'", path.c_str()));
+  }
+}
+
+}  // namespace
+
+std::string RunReportJson(const std::vector<ExperimentResult>& results,
+                          const std::vector<TimelineEvent>& events,
+                          const RunReportOptions& options) {
+  JsonWriter writer;
+  writer.BeginObject();
+  WriteHeader(writer, options.tool, options.scale);
+  writer.KV("clock_hz", options.clock_hz);
+
+  WriteMetricsObject(writer, FlatMetrics(results, options));
+
+  writer.Key("experiments").BeginArray();
+  for (const ExperimentResult& r : results) {
+    WriteExperiment(writer, r, options);
+  }
+  writer.EndArray();
+
+  uint64_t total_errors = 0;
+  for (const ExperimentResult& r : results) {
+    total_errors += r.parser_errors;
+  }
+  writer.Key("totals").BeginObject();
+  writer.KV("workloads", static_cast<uint64_t>(results.size()));
+  writer.KV("parser_errors", total_errors);
+  writer.EndObject();
+
+  // The timeline: the shared recorder's events plus any per-experiment
+  // private timelines, concatenated.
+  writer.Key("traceEvents").BeginArray();
+  WriteChromeTraceEvents(writer, events);
+  for (const ExperimentResult& r : results) {
+    WriteChromeTraceEvents(writer, r.timeline);
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+void WriteRunReport(const std::string& path, const std::vector<ExperimentResult>& results,
+                    const std::vector<TimelineEvent>& events, const RunReportOptions& options) {
+  WriteFile(path, RunReportJson(results, events, options));
+}
+
+void WriteMetricsReport(const std::string& path, const std::string& tool,
+                        const std::map<std::string, double>& metrics,
+                        const std::vector<TimelineEvent>& events, double scale) {
+  JsonWriter writer;
+  writer.BeginObject();
+  WriteHeader(writer, tool, scale);
+  WriteMetricsObject(writer, metrics);
+  writer.Key("traceEvents").BeginArray();
+  WriteChromeTraceEvents(writer, events);
+  writer.EndArray();
+  writer.EndObject();
+  WriteFile(path, writer.TakeString());
+}
+
+size_t PrintResultWarnings(const ExperimentResult& result, std::FILE* out) {
+  std::vector<std::string> warnings = result.Warnings();
+  for (const std::string& warning : warnings) {
+    std::fprintf(out, "*** %s ***\n", warning.c_str());
+  }
+  return warnings.size();
+}
+
+}  // namespace wrl

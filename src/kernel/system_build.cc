@@ -470,6 +470,7 @@ struct BuiltProgram {
   Executable orig;
   Executable traced;
   TraceInfoTable table;
+  double text_growth = 1.0;  // Combined epoxie dilation across the objects.
 };
 
 BuiltProgram BuildUserProgram(const std::string& name, const std::string& source, bool tracing) {
@@ -497,6 +498,12 @@ BuiltProgram BuildUserProgram(const std::string& name, const std::string& source
                 "instrumented user bss moved; data addresses would not match");
   out.table.AddObject(ilib.blocks, out.traced.object_text_bases[0], out.orig.object_text_bases[0]);
   out.table.AddObject(iprog.blocks, out.traced.object_text_bases[1], out.orig.object_text_bases[1]);
+  uint32_t orig_words = ilib.original_text_words + iprog.original_text_words;
+  if (orig_words > 0) {
+    out.text_growth =
+        static_cast<double>(ilib.instrumented_text_words + iprog.instrumented_text_words) /
+        orig_words;
+  }
   return out;
 }
 
@@ -519,6 +526,7 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
   if (config.tracing) {
     EpoxieConfig econfig;
     InstrumentResult ikernel = Instrument(kernel_obj, econfig);
+    sys.kernel_text_growth_ = ikernel.TextGrowthFactor();
     sys.kernel_exe_ = Link({ikernel.object, support}, kopts);
     sys.kernel_table_.AddObject(ikernel.blocks, sys.kernel_exe_.object_text_bases[0],
                                 kernel_orig.object_text_bases[0]);
@@ -539,12 +547,14 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
   sys.workload_orig_ = workload.orig;
   sys.workload_exe_ = config.tracing ? workload.traced : workload.orig;
   sys.user_table_ = std::move(workload.table);
+  sys.workload_text_growth_ = workload.text_growth;
 
   BuiltProgram server;
   if (mach) {
     server = BuildUserProgram("server", ServerAsm(), config.tracing);
     sys.server_exe_ = config.tracing ? server.traced : server.orig;
     sys.server_table_ = std::move(server.table);
+    sys.server_text_growth_ = server.text_growth;
   }
 
   // ---- Machine ----
@@ -761,6 +771,11 @@ void SystemInstance::DrainTrace() {
   size_t words = (ptr - base_v) / 4;
   last_drain_words_ = words;
   trace_words_drained_ += words;
+  ++trace_drains_;
+  drain_words_hist_.Record(words);
+  if (config_.events != nullptr) {
+    config_.events->Instant("trace.drain", "trace", "words", words);
+  }
   if (trace_sink_ && words > 0) {
     const uint32_t* data =
         reinterpret_cast<const uint32_t*>(machine_->phys().data() + ktrace_base_);
@@ -774,6 +789,36 @@ RunResult SystemInstance::Run(uint64_t max_instructions) {
     DrainTrace();  // Final drain after halt.
   }
   return result;
+}
+
+void SystemInstance::RegisterStats(StatsRegistry& registry, const std::string& prefix) {
+  machine_->RegisterStats(registry, prefix + "machine.");
+  // Kernel stats-block words live in simulated memory; read them lazily.
+  registry.AddGauge(prefix + "kernel.utlb_misses",
+                    [this] { return static_cast<double>(UtlbMissCount()); });
+  registry.AddGauge(prefix + "kernel.tlb_dropins",
+                    [this] { return static_cast<double>(TlbDropins()); });
+  registry.AddGauge(prefix + "kernel.ktlb_refills",
+                    [this] { return static_cast<double>(KtlbRefills()); });
+  registry.AddGauge(prefix + "kernel.context_switches",
+                    [this] { return static_cast<double>(ContextSwitches()); });
+  registry.AddGauge(prefix + "kernel.analysis_switches",
+                    [this] { return static_cast<double>(AnalysisSwitches()); });
+  if (config_.tracing) {
+    registry.AddCounter(prefix + "trace.words_drained", &trace_words_drained_);
+    registry.AddCounter(prefix + "trace.drains", &trace_drains_);
+    registry.AddHistogram(prefix + "trace.drain_words", &drain_words_hist_);
+    registry.AddGauge(prefix + "trace.buffer_capacity_words",
+                      [this] { return static_cast<double>(config_.trace_buf_bytes / 4); });
+    registry.AddGauge(prefix + "epoxie.kernel_text_growth",
+                      [this] { return kernel_text_growth_; });
+    registry.AddGauge(prefix + "epoxie.workload_text_growth",
+                      [this] { return workload_text_growth_; });
+    if (config_.personality == Personality::kMach) {
+      registry.AddGauge(prefix + "epoxie.server_text_growth",
+                        [this] { return server_text_growth_; });
+    }
+  }
 }
 
 std::string SystemInstance::ConsoleOutput() const { return machine_->console().output(); }

@@ -20,6 +20,8 @@
 #include "kernel/kernel_config.h"
 #include "mach/machine.h"
 #include "obj/object_file.h"
+#include "stats/events.h"
+#include "stats/stats.h"
 #include "trace/parser.h"
 
 namespace wrl {
@@ -51,6 +53,8 @@ struct SystemConfig {
   std::vector<DiskFile> files;
   uint32_t heap_bytes = 8u << 20;  // Heap limit past bss.
   DiskConfig disk;
+  // Optional timeline: trace drains (mode switches) become instant events.
+  EventRecorder* events = nullptr;
 };
 
 // Everything known about one bootable instance.
@@ -101,6 +105,17 @@ class SystemInstance {
   // Idle-loop text range of this kernel build (for machine-side counters).
   std::pair<uint32_t, uint32_t> IdleRange() const;
 
+  // ---- Observability ----
+  // Binds this instance's counters into `registry` under `prefix`: the
+  // machine (and its memory system), the kernel stats-block words as
+  // gauges, the trace transport (drain-size histogram, buffer fill
+  // levels), and the epoxie text-dilation ratios of every instrumented
+  // image.  The instance must outlive snapshots of the registry.
+  void RegisterStats(StatsRegistry& registry, const std::string& prefix = "system.");
+  // Epoxie text growth of the instrumented images (1.0 when untraced).
+  double kernel_text_growth() const { return kernel_text_growth_; }
+  double workload_text_growth() const { return workload_text_growth_; }
+
  private:
   friend std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config);
 
@@ -120,6 +135,11 @@ class SystemInstance {
   uint32_t ktrace_base_ = 0;      // Phys address of the buffer.
   uint64_t trace_words_drained_ = 0;
   uint64_t last_drain_words_ = 0;
+  uint64_t trace_drains_ = 0;
+  Histogram drain_words_hist_;   // Buffer fill level (words) at each drain.
+  double kernel_text_growth_ = 1.0;
+  double workload_text_growth_ = 1.0;
+  double server_text_growth_ = 1.0;
 
   struct ProcLayout {
     uint32_t region_base_page = 0;

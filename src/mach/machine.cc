@@ -636,4 +636,24 @@ RunResult Machine::Run(uint64_t max_instructions) {
   return r;
 }
 
+void Machine::RegisterStats(StatsRegistry& registry, const std::string& prefix) {
+  registry.AddCounter(prefix + "cycles", &cycles_);
+  registry.AddCounter(prefix + "instructions", &instructions_);
+  registry.AddCounter(prefix + "user_instructions", &user_instructions_);
+  registry.AddCounter(prefix + "kernel_instructions", &kernel_instructions_);
+  registry.AddCounter(prefix + "idle_instructions", &idle_instructions_);
+  registry.AddCounter(prefix + "arith_stall_cycles", &arith_stall_cycles_);
+  registry.AddCounter(prefix + "utlb_miss_exceptions", &utlb_miss_exceptions_);
+  registry.AddCounter(prefix + "exc.interrupts", &exception_counts_[static_cast<unsigned>(Exc::kInt)]);
+  registry.AddCounter(prefix + "exc.tlb_mod", &exception_counts_[static_cast<unsigned>(Exc::kMod)]);
+  registry.AddCounter(prefix + "exc.tlb_load", &exception_counts_[static_cast<unsigned>(Exc::kTlbL)]);
+  registry.AddCounter(prefix + "exc.tlb_store", &exception_counts_[static_cast<unsigned>(Exc::kTlbS)]);
+  registry.AddCounter(prefix + "exc.addr_error",
+                      &exception_counts_[static_cast<unsigned>(Exc::kAdEL)]);
+  registry.AddCounter(prefix + "exc.syscalls", &exception_counts_[static_cast<unsigned>(Exc::kSys)]);
+  if (timing_) {
+    memsys_.RegisterStats(registry, prefix + "memsys.");
+  }
+}
+
 }  // namespace wrl

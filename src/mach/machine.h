@@ -29,6 +29,7 @@
 #include "mach/tlb.h"
 #include "memsys/memsys.h"
 #include "obj/object_file.h"
+#include "stats/stats.h"
 
 namespace wrl {
 
@@ -140,6 +141,8 @@ class Machine {
   void set_trace_hook(std::function<void(const RefEvent&)> hook) { trace_hook_ = std::move(hook); }
 
   // ---- Counters ----
+  // The counters live as registry-bindable wrl::Counter instruments; these
+  // accessors are thin shims over the same storage (see RegisterStats).
   uint64_t cycles() const { return cycles_; }
   uint64_t instructions() const { return instructions_; }
   uint64_t user_instructions() const { return user_instructions_; }
@@ -148,6 +151,11 @@ class Machine {
   uint64_t utlb_miss_exceptions() const { return utlb_miss_exceptions_; }
   uint64_t exception_count(Exc code) const { return exception_counts_[static_cast<unsigned>(code)]; }
   uint64_t interrupts_taken() const { return exception_counts_[0]; }
+
+  // Binds every machine counter (and, in timing mode, the memory-system
+  // counters under `<prefix>memsys.`) into `registry`.  The machine must
+  // outlive snapshots of the registry.
+  void RegisterStats(StatsRegistry& registry, const std::string& prefix = "machine.");
   const MemorySystem* memsys() const { return timing_ ? &memsys_ : nullptr; }
   MemorySystem* mutable_memsys() { return timing_ ? &memsys_ : nullptr; }
 
@@ -206,17 +214,17 @@ class Machine {
   bool halted_ = false;
   uint32_t halt_code_ = 0;
 
-  uint64_t cycles_ = 0;
-  uint64_t instructions_ = 0;
-  uint64_t user_instructions_ = 0;
-  uint64_t kernel_instructions_ = 0;
+  Counter cycles_;
+  Counter instructions_;
+  Counter user_instructions_;
+  Counter kernel_instructions_;
   uint64_t muldiv_ready_ = 0;
-  uint64_t arith_stall_cycles_ = 0;
-  uint64_t utlb_miss_exceptions_ = 0;
+  Counter arith_stall_cycles_;
+  Counter utlb_miss_exceptions_;
   uint64_t exception_counts_[16] = {0};
   uint32_t idle_lo_ = 0;
   uint32_t idle_hi_ = 0;
-  uint64_t idle_instructions_ = 0;
+  Counter idle_instructions_;
   uint64_t cycle_latch_hi_ = 0;
 };
 

@@ -106,4 +106,17 @@ void MemorySystem::Reset() {
   stats_ = MemSysStats{};
 }
 
+void MemorySystem::RegisterStats(StatsRegistry& registry, const std::string& prefix) {
+  registry.AddCounter(prefix + "inst_fetches", &stats_.inst_fetches);
+  registry.AddCounter(prefix + "icache_misses", &stats_.icache_misses);
+  registry.AddCounter(prefix + "data_reads", &stats_.data_reads);
+  registry.AddCounter(prefix + "dcache_misses", &stats_.dcache_misses);
+  registry.AddCounter(prefix + "data_writes", &stats_.data_writes);
+  registry.AddCounter(prefix + "wb_stall_cycles", &stats_.wb_stall_cycles);
+  registry.AddCounter(prefix + "uncached_reads", &stats_.uncached_reads);
+  registry.AddCounter(prefix + "uncached_writes", &stats_.uncached_writes);
+  registry.AddGauge(prefix + "stall_cycles",
+                    [this] { return static_cast<double>(stats_.StallCycles(config_)); });
+}
+
 }  // namespace wrl

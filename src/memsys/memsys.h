@@ -18,7 +18,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
+
+#include "stats/stats.h"
 
 namespace wrl {
 
@@ -114,6 +117,11 @@ class MemorySystem {
 
   const MemSysStats& stats() const { return stats_; }
   const MemSysConfig& config() const { return config_; }
+
+  // Binds every counter of `stats()` plus a derived `stall_cycles` gauge
+  // into `registry` under `prefix`.  The memory system must outlive
+  // snapshots of the registry.
+  void RegisterStats(StatsRegistry& registry, const std::string& prefix);
 
  private:
   MemSysConfig config_;

@@ -105,4 +105,20 @@ Prediction TraceDrivenSimulator::Finish() {
   return result_;
 }
 
+void TraceDrivenSimulator::RegisterStats(StatsRegistry& registry, const std::string& prefix) {
+  registry.AddCounter(prefix + "instructions", &result_.instructions);
+  registry.AddCounter(prefix + "idle_instructions", &result_.idle_instructions);
+  registry.AddCounter(prefix + "mem_stall_cycles", &result_.mem_stall_cycles);
+  registry.AddCounter(prefix + "arith_stall_cycles", &result_.arith_stall_cycles);
+  registry.AddCounter(prefix + "synthesized_refs", &result_.synthesized_refs);
+  registry.AddCounter(prefix + "user_instructions", &result_.user_instructions);
+  registry.AddCounter(prefix + "kernel_instructions", &result_.kernel_instructions);
+  registry.AddCounter(prefix + "user_stall_cycles", &result_.user_stall_cycles);
+  registry.AddCounter(prefix + "kernel_stall_cycles", &result_.kernel_stall_cycles);
+  registry.AddGauge(prefix + "predicted_cycles", [this] { return result_.PredictedCycles(); });
+  registry.AddGauge(prefix + "io_stall_cycles", [this] { return result_.io_stall_cycles; });
+  memsys_.RegisterStats(registry, prefix + "memsys.");
+  tlb_.RegisterStats(registry, prefix + "tlbsim.");
+}
+
 }  // namespace wrl

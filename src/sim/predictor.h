@@ -91,6 +91,12 @@ class TraceDrivenSimulator {
 
   const TlbSimulator& tlb() const { return tlb_; }
 
+  // Binds the running prediction counters, the analysis memory system
+  // (under `<prefix>memsys.`), and the TLB simulator (under
+  // `<prefix>tlbsim.`) into `registry`.  Snapshot after Finish() for final
+  // values; the simulator must outlive snapshots of the registry.
+  void RegisterStats(StatsRegistry& registry, const std::string& prefix = "predictor.");
+
  private:
   void Access(const TraceRef& ref);
   bool current_is_kernel_ = false;

@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "mach/tlb.h"
+#include "stats/stats.h"
 #include "trace/parser.h"
 
 namespace wrl {
@@ -50,6 +52,14 @@ class TlbSimulator {
   bool OnRef(const TraceRef& ref);
 
   const TlbSimStats& stats() const { return stats_; }
+
+  // Binds the miss breakdown into `registry`; the simulator must outlive
+  // snapshots of the registry.
+  void RegisterStats(StatsRegistry& registry, const std::string& prefix = "tlbsim.") {
+    registry.AddCounter(prefix + "user_refs", &stats_.user_refs);
+    registry.AddCounter(prefix + "utlb_misses", &stats_.utlb_misses);
+    registry.AddCounter(prefix + "ktlb_misses", &stats_.ktlb_misses);
+  }
 
  private:
   void SynthesizeHandler(const TraceRef& ref);

@@ -1,0 +1,108 @@
+#include "stats/events.h"
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace wrl {
+
+EventRecorder::EventRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t EventRecorder::NowUs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+void EventRecorder::Begin(std::string name, std::string category) {
+  TimelineEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.wall_start_us = NowUs();
+  event.cycle_start = NowCycles();
+  event.depth = static_cast<int>(open_.size());
+  open_.push_back(std::move(event));
+}
+
+void EventRecorder::End() {
+  WRL_CHECK_MSG(!open_.empty(), "EventRecorder::End() without a matching Begin()");
+  TimelineEvent event = std::move(open_.back());
+  open_.pop_back();
+  uint64_t now_us = NowUs();
+  uint64_t now_cycles = NowCycles();
+  event.wall_dur_us = now_us - event.wall_start_us;
+  // The cycle source may have been swapped for a fresh machine mid-phase;
+  // clamp instead of wrapping.
+  event.cycle_dur = now_cycles >= event.cycle_start ? now_cycles - event.cycle_start : 0;
+  events_.push_back(std::move(event));
+}
+
+void EventRecorder::Instant(std::string name, std::string category) {
+  TimelineEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.wall_start_us = NowUs();
+  event.cycle_start = NowCycles();
+  event.depth = static_cast<int>(open_.size());
+  event.instant = true;
+  events_.push_back(std::move(event));
+}
+
+void EventRecorder::Instant(std::string name, std::string category, std::string arg_name,
+                            uint64_t arg) {
+  Instant(std::move(name), std::move(category));
+  TimelineEvent& event = events_.back();
+  event.has_arg = true;
+  event.arg_name = std::move(arg_name);
+  event.arg = arg;
+}
+
+std::vector<TimelineEvent> EventRecorder::TakeEvents() {
+  std::vector<TimelineEvent> taken = std::move(events_);
+  events_.clear();
+  return taken;
+}
+
+void WriteChromeTraceEvents(JsonWriter& writer, const std::vector<TimelineEvent>& events) {
+  for (const TimelineEvent& event : events) {
+    writer.BeginObject();
+    writer.KV("name", event.name);
+    writer.KV("cat", event.category.empty() ? "phase" : event.category);
+    writer.KV("ph", event.instant ? "i" : "X");
+    writer.KV("ts", event.wall_start_us);
+    if (!event.instant) {
+      writer.KV("dur", event.wall_dur_us);
+    } else {
+      writer.KV("s", "t");  // Thread-scoped instant.
+    }
+    writer.KV("pid", 1);
+    writer.KV("tid", 1);
+    writer.Key("args").BeginObject();
+    writer.KV("cycle_start", event.cycle_start);
+    if (!event.instant) {
+      writer.KV("cycle_dur", event.cycle_dur);
+    }
+    if (event.has_arg) {
+      writer.KV(event.arg_name, event.arg);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+}
+
+void EventRecorder::WriteChromeTrace(JsonWriter& writer) const {
+  writer.BeginArray();
+  WriteChromeTraceEvents(writer, events_);
+  writer.EndArray();
+}
+
+std::string EventRecorder::ChromeTraceJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("displayTimeUnit", "ms");
+  writer.Key("traceEvents");
+  WriteChromeTrace(writer);
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+}  // namespace wrl

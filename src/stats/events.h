@@ -1,0 +1,103 @@
+// The event timeline: a dedicated observation channel, separate from the
+// trace payload itself (the tracer/driver split — see PAPERS.md on
+// Deransart's observational semantics and HMTT's semantic-event tagging).
+//
+// Components record scoped phases (image build, trace-generation epochs,
+// analysis-mode switches, parser Feed batches) and instant events (trace
+// drains) against two clocks at once: host wall-clock microseconds and the
+// simulated machine's cycle counter.  The recording is append-only and
+// cheap; rendering targets the Chrome trace_event JSON format, so a run
+// report drops straight into chrome://tracing or ui.perfetto.dev.
+#ifndef WRLTRACE_STATS_EVENTS_H_
+#define WRLTRACE_STATS_EVENTS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wrl {
+
+class JsonWriter;
+
+struct TimelineEvent {
+  std::string name;
+  std::string category;
+  uint64_t wall_start_us = 0;  // Since recorder construction.
+  uint64_t wall_dur_us = 0;
+  uint64_t cycle_start = 0;  // Simulated cycles (0 when no cycle source).
+  uint64_t cycle_dur = 0;
+  int depth = 0;        // Nesting depth at Begin time (0 = top level).
+  bool instant = false;  // Instant event: durations are zero.
+  // Optional single numeric argument (drain word count, fill level, ...).
+  bool has_arg = false;
+  std::string arg_name;
+  uint64_t arg = 0;
+};
+
+// Records a single thread of nested phases plus instant events.  All
+// methods are null-tolerant through EventRecorder::Scope, so components
+// can hold an optional `EventRecorder*` and pay nothing when unobserved.
+class EventRecorder {
+ public:
+  EventRecorder();
+
+  // Simulated-cycle clock; typically `[&m] { return m.cycles(); }`.  May be
+  // reset when the harness switches machines (measured run vs traced run).
+  void SetCycleSource(std::function<uint64_t()> source) { cycle_source_ = std::move(source); }
+
+  void Begin(std::string name, std::string category = "phase");
+  // Closes the innermost open phase and appends its completed event.
+  void End();
+  void Instant(std::string name, std::string category = "event");
+  void Instant(std::string name, std::string category, std::string arg_name, uint64_t arg);
+
+  size_t open_scopes() const { return open_.size(); }
+  // Completed events, in completion order (instants interleaved).
+  const std::vector<TimelineEvent>& events() const { return events_; }
+  std::vector<TimelineEvent> TakeEvents();
+
+  // Emits the timeline as a Chrome trace_event JSON array ("X" complete
+  // events and "i" instants).  Open scopes are not emitted.
+  void WriteChromeTrace(JsonWriter& writer) const;
+  // The standalone document form: {"traceEvents": [...], ...metadata}.
+  std::string ChromeTraceJson() const;
+
+  // RAII phase scope; a null recorder makes it a no-op.
+  class Scope {
+   public:
+    Scope(EventRecorder* recorder, std::string name, std::string category = "phase")
+        : recorder_(recorder) {
+      if (recorder_ != nullptr) {
+        recorder_->Begin(std::move(name), std::move(category));
+      }
+    }
+    ~Scope() {
+      if (recorder_ != nullptr) {
+        recorder_->End();
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    EventRecorder* recorder_;
+  };
+
+ private:
+  uint64_t NowUs() const;
+  uint64_t NowCycles() const { return cycle_source_ ? cycle_source_() : 0; }
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::function<uint64_t()> cycle_source_;
+  std::vector<TimelineEvent> open_;  // Stack of in-flight phases.
+  std::vector<TimelineEvent> events_;
+};
+
+// Writes one run's Chrome trace events into an already-open JSON array.
+void WriteChromeTraceEvents(JsonWriter& writer, const std::vector<TimelineEvent>& events);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_STATS_EVENTS_H_

@@ -226,6 +226,10 @@ void TraceParser::HandleOperand(uint32_t word) {
 }
 
 void TraceParser::Feed(const uint32_t* words, size_t count) {
+  EventRecorder::Scope scope(events_, "parser.feed", "parser");
+  if (events_ != nullptr) {
+    events_->Instant("parser.feed_words", "parser", "words", count);
+  }
   for (size_t i = 0; i < count; ++i) {
     uint32_t word = words[i];
     ++stats_.words;
@@ -248,6 +252,20 @@ void TraceParser::Finish() {
   if (cursor_.active()) {
     RecordError(StrFormat("trace ends with block 0x%08x in flight", cursor_.info->orig_addr));
   }
+}
+
+void TraceParser::RegisterStats(StatsRegistry& registry, const std::string& prefix) {
+  registry.AddCounter(prefix + "words", &stats_.words);
+  registry.AddCounter(prefix + "blocks", &stats_.blocks);
+  registry.AddCounter(prefix + "refs", &stats_.refs);
+  registry.AddCounter(prefix + "ifetches", &stats_.ifetches);
+  registry.AddCounter(prefix + "loads", &stats_.loads);
+  registry.AddCounter(prefix + "stores", &stats_.stores);
+  registry.AddCounter(prefix + "kernel_ifetches", &stats_.kernel_ifetches);
+  registry.AddCounter(prefix + "user_ifetches", &stats_.user_ifetches);
+  registry.AddCounter(prefix + "idle_instructions", &stats_.idle_instructions);
+  registry.AddCounter(prefix + "markers", &stats_.markers);
+  registry.AddCounter(prefix + "validation_errors", &stats_.validation_errors);
 }
 
 }  // namespace wrl

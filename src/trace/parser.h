@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "epoxie/epoxie.h"
+#include "stats/events.h"
+#include "stats/stats.h"
 #include "trace/abi.h"
 
 namespace wrl {
@@ -108,6 +110,12 @@ class TraceParser {
   const TraceParserStats& stats() const { return stats_; }
   const std::vector<std::string>& errors() const { return errors_; }
 
+  // Binds every field of `stats()` into `registry`; the parser must outlive
+  // snapshots of the registry.
+  void RegisterStats(StatsRegistry& registry, const std::string& prefix = "parser.");
+  // Optional timeline: each Feed() batch becomes a scoped phase.
+  void SetEventRecorder(EventRecorder* events) { events_ = events; }
+
  private:
   struct BlockCursor {
     const TraceBlockInfo* info = nullptr;
@@ -150,6 +158,7 @@ class TraceParser {
 
   std::function<void(const TraceRef&)> ref_sink_;
   std::function<void(MarkerCode, uint32_t)> meta_sink_;
+  EventRecorder* events_ = nullptr;
   TraceParserStats stats_;
   std::vector<std::string> errors_;
 };

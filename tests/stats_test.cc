@@ -1,0 +1,231 @@
+// Unit tests for the wrlstats observability layer: the counter registry,
+// the log-scale histogram, the event timeline, and the regression check
+// that the registry snapshot agrees with components' existing accessors.
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/events.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "tests/test_util.h"
+#include "trace/parser.h"
+
+namespace wrl {
+namespace {
+
+TEST(Counter, BehavesLikeUint64) {
+  Counter c;
+  EXPECT_EQ(c, 0u);
+  ++c;
+  c += 10;
+  EXPECT_EQ(c, 11u);
+  --c;
+  c -= 5;
+  EXPECT_EQ(c.value(), 5u);
+  c = 42;
+  EXPECT_EQ(static_cast<uint64_t>(c) >> 1, 21u);
+  c.Reset();
+  EXPECT_EQ(c, 0u);
+}
+
+TEST(Histogram, Log2Bucketing) {
+  Histogram h;
+  h.Record(0);  // Bucket 0: exact zeros.
+  h.Record(1);  // Bucket 1: [1, 2).
+  h.Record(2);  // Bucket 2: [2, 4).
+  h.Record(3);
+  h.Record(4);  // Bucket 3: [4, 8).
+  h.Record(1024);  // Bucket 11: [1024, 2048).
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1034u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.buckets()[11], 1u);
+  EXPECT_EQ(h.UsedBuckets(), 12u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.UsedBuckets(), 0u);
+}
+
+TEST(StatsRegistry, RegisterLookupSnapshotReset) {
+  StatsRegistry registry;
+  Counter counter = 7;
+  uint64_t raw = 3;
+  double gauge_value = 1.5;
+  registry.AddCounter("a.counter", &counter);
+  registry.AddCounter("a.raw", &raw);
+  registry.AddGauge("a.gauge", [&] { return gauge_value; });
+  Histogram* owned = registry.AddHistogram("a.hist");
+  owned->Record(16);
+
+  EXPECT_TRUE(registry.Has("a.counter"));
+  EXPECT_FALSE(registry.Has("missing"));
+  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry.Names(),
+            (std::vector<std::string>{"a.counter", "a.gauge", "a.hist", "a.raw"}));
+  EXPECT_EQ(registry.CounterValue("a.counter"), 7u);
+  EXPECT_EQ(registry.CounterValue("a.raw"), 3u);
+  EXPECT_THROW(registry.CounterValue("missing"), Error);
+  EXPECT_THROW(registry.CounterValue("a.gauge"), Error);
+
+  // The snapshot is a point-in-time copy: later mutations don't show.
+  StatsSnapshot snap = registry.Snapshot();
+  counter += 100;
+  gauge_value = 9;
+  EXPECT_EQ(snap.CounterValue("a.counter"), 7u);
+  EXPECT_EQ(snap.CounterValue("a.raw"), 3u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("a.gauge"), 1.5);
+  const StatValue* hist = snap.Find("a.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, StatValue::Kind::kHistogram);
+  EXPECT_EQ(hist->hist_count, 1u);
+  EXPECT_EQ(hist->hist_sum, 16u);
+
+  registry.ResetAll();
+  EXPECT_EQ(counter, 0u);
+  EXPECT_EQ(raw, 0u);
+  EXPECT_EQ(owned->count(), 0u);
+}
+
+TEST(StatsRegistry, ReRegisteringReplacesBinding) {
+  StatsRegistry registry;
+  Counter first = 1;
+  Counter second = 2;
+  registry.AddCounter("x", &first);
+  registry.AddCounter("x", &second);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.CounterValue("x"), 2u);
+}
+
+TEST(StatsSnapshot, WriteJsonIsWellFormed) {
+  StatsRegistry registry;
+  Counter counter = 5;
+  registry.AddCounter("c", &counter);
+  registry.AddGauge("g", [] { return 2.25; });
+  registry.AddHistogram("h")->Record(3);
+  StatsSnapshot snap = registry.Snapshot();
+
+  JsonWriter writer(0);
+  snap.WriteJson(writer);
+  JsonValue v = ParseJson(writer.TakeString());
+  EXPECT_DOUBLE_EQ(v.At("c").number, 5.0);
+  EXPECT_DOUBLE_EQ(v.At("g").number, 2.25);
+  EXPECT_DOUBLE_EQ(v.At("h").At("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(v.At("h").At("mean").number, 3.0);
+  EXPECT_TRUE(v.At("h").At("log2_buckets").IsArray());
+}
+
+TEST(EventRecorder, NestingAndCompletionOrder) {
+  EventRecorder recorder;
+  uint64_t cycles = 100;
+  recorder.SetCycleSource([&] { return cycles; });
+  recorder.Begin("outer", "phase");
+  cycles = 150;
+  recorder.Begin("inner", "phase");
+  cycles = 175;
+  EXPECT_EQ(recorder.open_scopes(), 2u);
+  recorder.End();  // inner
+  recorder.Instant("tick", "event", "n", 7);
+  cycles = 200;
+  recorder.End();  // outer
+  EXPECT_EQ(recorder.open_scopes(), 0u);
+
+  // Completion order: inner closes first.
+  ASSERT_EQ(recorder.events().size(), 3u);
+  const TimelineEvent& inner = recorder.events()[0];
+  const TimelineEvent& tick = recorder.events()[1];
+  const TimelineEvent& outer = recorder.events()[2];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.cycle_start, 150u);
+  EXPECT_EQ(inner.cycle_dur, 25u);
+  EXPECT_TRUE(tick.instant);
+  EXPECT_TRUE(tick.has_arg);
+  EXPECT_EQ(tick.arg_name, "n");
+  EXPECT_EQ(tick.arg, 7u);
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(outer.cycle_start, 100u);
+  EXPECT_EQ(outer.cycle_dur, 100u);
+}
+
+TEST(EventRecorder, ChromeTraceJsonIsWellFormed) {
+  EventRecorder recorder;
+  {
+    EventRecorder::Scope scope(&recorder, "build", "phase");
+    recorder.Instant("drain", "trace", "words", 512);
+  }
+  {
+    EventRecorder::Scope noop(nullptr, "ignored");  // Null recorder: no-op.
+  }
+  JsonValue v = ParseJson(recorder.ChromeTraceJson());
+  const JsonValue& events = v.At("traceEvents");
+  ASSERT_TRUE(events.IsArray());
+  ASSERT_EQ(events.array.size(), 2u);
+  EXPECT_EQ(events.array[0].At("name").string, "drain");
+  EXPECT_EQ(events.array[0].At("ph").string, "i");
+  EXPECT_DOUBLE_EQ(events.array[0].At("args").At("words").number, 512.0);
+  EXPECT_EQ(events.array[1].At("name").string, "build");
+  EXPECT_EQ(events.array[1].At("ph").string, "X");
+  EXPECT_TRUE(events.array[1].Has("dur"));
+}
+
+// Regression: the registry snapshot of a run machine agrees with the
+// existing accessors — converting the members to Counter changed nothing.
+TEST(StatsIntegration, MachineAccessorsAgreeWithSnapshot) {
+  auto machine = RunBareProgram(R"(
+        .globl _start
+_start: li   $t0, 10
+loop:   addiu $t0, $t0, -1
+        bgtz $t0, loop
+        nop
+        li   $t9, 0xbfd00004     # HALT register
+        sw   $zero, 0($t9)
+spin:   b    spin
+        nop
+)");
+  StatsRegistry registry;
+  machine->RegisterStats(registry);
+  StatsSnapshot snap = registry.Snapshot();
+  EXPECT_GT(machine->cycles(), 0u);
+  EXPECT_EQ(snap.CounterValue("machine.cycles"), machine->cycles());
+  EXPECT_EQ(snap.CounterValue("machine.instructions"), machine->instructions());
+  EXPECT_EQ(snap.CounterValue("machine.user_instructions"), machine->user_instructions());
+  EXPECT_EQ(snap.CounterValue("machine.kernel_instructions"), machine->kernel_instructions());
+  EXPECT_EQ(snap.CounterValue("machine.idle_instructions"), machine->idle_instructions());
+  EXPECT_EQ(snap.CounterValue("machine.utlb_miss_exceptions"),
+            machine->utlb_miss_exceptions());
+}
+
+// Same agreement check for the trace parser over a synthetic stream.
+TEST(StatsIntegration, ParserStatsAgreeWithSnapshot) {
+  TraceInfoTable table;
+  table.Add(0x10000010, {0x00400000, 2, 0, {}});
+  table.Add(0x10000040, {0x00400100, 3, 0, {{1, false, 4}}});
+
+  TraceParser parser(&table);
+  parser.SetUserTable(1, &table);
+  parser.SetInitialContext(1);
+  StatsRegistry registry;
+  parser.RegisterStats(registry);
+  parser.Feed({0x10000010, 0x10000040, 0x00500000});
+  parser.Finish();
+
+  StatsSnapshot snap = registry.Snapshot();
+  const TraceParserStats& s = parser.stats();
+  EXPECT_GT(s.refs, 0u);
+  EXPECT_EQ(snap.CounterValue("parser.words"), s.words);
+  EXPECT_EQ(snap.CounterValue("parser.blocks"), s.blocks);
+  EXPECT_EQ(snap.CounterValue("parser.refs"), s.refs);
+  EXPECT_EQ(snap.CounterValue("parser.ifetches"), s.ifetches);
+  EXPECT_EQ(snap.CounterValue("parser.loads"), s.loads);
+  EXPECT_EQ(snap.CounterValue("parser.validation_errors"), s.validation_errors);
+}
+
+}  // namespace
+}  // namespace wrl
