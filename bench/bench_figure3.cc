@@ -11,9 +11,10 @@ using namespace wrl;
 
 int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
+  unsigned jobs = BenchJobs(argc, argv);
   printf("=== Figure 3: Error in predicted execution times for Ultrix (scale %.2f) ===\n", scale);
   EventRecorder events;
-  std::vector<ExperimentResult> results = RunPersonalitySuite(Personality::kUltrix, scale, &events);
+  std::vector<ExperimentResult> results = RunPersonalitySuite(Personality::kUltrix, scale, &events, jobs);
   printf("%-10s %8s  (one '#' per half percent of |error|)\n", "workload", "error");
   double worst = 0;
   for (const ExperimentResult& r : results) {

@@ -62,6 +62,39 @@ void BM_TracedExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_TracedExecution);
 
+void BM_UntracedExecution(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    RunResult run = RunBareOriginal(build);
+    instructions += run.instructions;
+    benchmark::DoNotOptimize(run.cycles);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+BENCHMARK(BM_UntracedExecution);
+
+// Raw Step-dispatch throughput: a self-contained spin loop stepped directly,
+// with no run-loop bookkeeping, link step, or halt handling in the timing.
+void BM_MachineStepLoop(benchmark::State& state) {
+  MachineConfig config;
+  Machine machine(config);
+  // addiu t0, t0, 1; bne t0, zero, -2; nop — an endless counted spin in
+  // kseg0, entirely fetch + ALU + branch.
+  machine.PhysWrite32(0x1000, 0x25080001);  // addiu $t0, $t0, 1
+  machine.PhysWrite32(0x1004, 0x1500fffe);  // bne $t0, $zero, .-4
+  machine.PhysWrite32(0x1008, 0x00000000);  // nop
+  machine.SetPc(kKseg0 + 0x1000);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      machine.Step();
+    }
+    benchmark::DoNotOptimize(machine.cycles());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MachineStepLoop);
+
 void BM_TraceParse(benchmark::State& state) {
   BareBuild build = BuildBareTraced(kBody);
   BareTraceRun run = RunBareTraced(build);

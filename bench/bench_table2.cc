@@ -10,11 +10,12 @@ using namespace wrl;
 
 int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
+  unsigned jobs = BenchJobs(argc, argv);
   double hz = 25e6;
   printf("=== Table 2: Run Times, measured and predicted, in seconds (scale %.2f) ===\n", scale);
   EventRecorder events;
-  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale, &events);
-  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale, &events);
+  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale, &events, jobs);
+  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale, &events, jobs);
 
   printf("%-10s | %21s | %21s\n", "", "Ultrix", "Mach 3.0");
   printf("%-10s | %10s %10s | %10s %10s\n", "workload", "measured", "predicted", "measured",

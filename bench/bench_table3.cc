@@ -12,10 +12,11 @@ using namespace wrl;
 
 int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
+  unsigned jobs = BenchJobs(argc, argv);
   printf("=== Table 3: TLB misses, measured and predicted (scale %.2f) ===\n", scale);
   EventRecorder events;
-  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale, &events);
-  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale, &events);
+  std::vector<ExperimentResult> ultrix = RunPersonalitySuite(Personality::kUltrix, scale, &events, jobs);
+  std::vector<ExperimentResult> mach = RunPersonalitySuite(Personality::kMach, scale, &events, jobs);
 
   printf("%-10s | %21s | %21s\n", "", "Mach 3.0", "Ultrix");
   printf("%-10s | %10s %10s | %10s %10s\n", "workload", "predicted", "measured", "predicted",

@@ -33,6 +33,25 @@ inline double BenchScale(int argc, char** argv) {
   return scale <= 0 ? 0.2 : scale;
 }
 
+// Worker threads for suite runs: --jobs=N, --jobs N, or WRL_JOBS env
+// (default 1 = serial).  Parallel runs also overlap each experiment's
+// measured/traced pair; results and reports are identical either way.
+inline unsigned BenchJobs(int argc, char** argv) {
+  long jobs = 1;
+  if (const char* env = std::getenv("WRL_JOBS")) {
+    jobs = std::atol(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atol(arg.c_str() + 7);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atol(argv[i + 1]);
+    }
+  }
+  return jobs < 1 ? 1u : static_cast<unsigned>(jobs);
+}
+
 // Report destination: --json=PATH, --json PATH, or WRL_JSON env.  Empty
 // when no machine-readable report was requested.
 inline std::string BenchJsonPath(int argc, char** argv) {
@@ -52,16 +71,29 @@ inline std::string BenchJsonPath(int argc, char** argv) {
 }
 
 inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality, double scale,
-                                                         EventRecorder* events = nullptr) {
+                                                         EventRecorder* events = nullptr,
+                                                         unsigned jobs = 1) {
   ExperimentOptions options;
   options.personality = personality;
   options.events = events;
+  const std::vector<WorkloadSpec> workloads = PaperWorkloads(scale);
   std::vector<ExperimentResult> results;
-  for (const WorkloadSpec& w : PaperWorkloads(scale)) {
-    fprintf(stderr, "  running %-9s (%s)...\n", w.name.c_str(),
-            personality == Personality::kUltrix ? "ultrix" : "mach");
-    results.push_back(RunExperiment(w, options));
-    PrintResultWarnings(results.back(), stderr);
+  if (jobs <= 1) {
+    for (const WorkloadSpec& w : workloads) {
+      fprintf(stderr, "  running %-9s (%s)...\n", w.name.c_str(),
+              personality == Personality::kUltrix ? "ultrix" : "mach");
+      results.push_back(RunExperiment(w, options));
+      PrintResultWarnings(results.back(), stderr);
+    }
+    return results;
+  }
+  options.jobs = jobs;
+  options.parallel_pair = true;
+  fprintf(stderr, "  running %zu workloads (%s) on %u workers...\n", workloads.size(),
+          personality == Personality::kUltrix ? "ultrix" : "mach", jobs);
+  results = RunSuite(workloads, options);
+  for (const ExperimentResult& r : results) {
+    PrintResultWarnings(r, stderr);
   }
   return results;
 }

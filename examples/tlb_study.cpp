@@ -9,7 +9,9 @@
 // snapshot of the traced and measured systems, the sweep's miss curve, and
 // the event timeline (load the file in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
+#include <exception>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -65,6 +67,7 @@ class SweepTlb {
 
 int main(int argc, char** argv) {
   std::string json_path = BenchJsonPath(argc, argv);
+  unsigned jobs = BenchJobs(argc, argv);
   constexpr double kScale = 0.15;
   WorkloadSpec w = PaperWorkload("eqntott", kScale);  // The TLB-hostile one.
   printf("collecting the system trace of %s...\n", w.name.c_str());
@@ -96,12 +99,48 @@ int main(int argc, char** argv) {
     }
   });
   sys->SetTraceSink([&parser](const uint32_t* words, size_t n) { parser.Feed(words, n); });
+
+  // The measured (uninstrumented) system is independent of the sweep; with
+  // --jobs > 1 its run overlaps the traced run on a helper thread.
+  SystemConfig untraced = config;
+  untraced.tracing = false;
+  untraced.clock_period = 200000;
+  untraced.events = nullptr;
+  auto measured = BuildSystem(untraced);
+  EventRecorder measured_events;
+  uint64_t measured_epoch_us = 0;
+  std::exception_ptr measured_exc;
+  std::thread measured_thread;
+  auto run_measured = [&](EventRecorder* ev) {
+    ev->SetCycleSource([m = &measured->machine()]() -> uint64_t { return m->cycles(); });
+    EventRecorder::Scope scope(ev, "run.measured:eqntott", "run");
+    measured->Run(3'000'000'000ull);
+  };
+  if (jobs > 1) {
+    printf("overlapping the measured run on a second worker (--jobs %u)...\n", jobs);
+    measured_epoch_us = events.ElapsedUs();
+    measured_thread = std::thread([&] {
+      try {
+        run_measured(&measured_events);
+      } catch (...) {
+        measured_exc = std::current_exception();
+      }
+    });
+  }
+
   RunResult r;
   {
     events.SetCycleSource([m = &sys->machine()]() -> uint64_t { return m->cycles(); });
     EventRecorder::Scope scope(&events, "run.traced:eqntott", "run");
     r = sys->Run(3'000'000'000ull);
     parser.Finish();
+  }
+  if (measured_thread.joinable()) {
+    measured_thread.join();
+    if (measured_exc != nullptr) {
+      std::rethrow_exception(measured_exc);
+    }
+    events.Absorb(measured_events.TakeEvents(), measured_epoch_us);
   }
   if (!r.halted) {
     printf("did not halt!\n");
@@ -121,14 +160,8 @@ int main(int argc, char** argv) {
   printf("handler refs): %llu misses\n",
          static_cast<unsigned long long>(production.stats().utlb_misses));
 
-  SystemConfig untraced = config;
-  untraced.tracing = false;
-  untraced.clock_period = 200000;
-  auto measured = BuildSystem(untraced);
-  {
-    events.SetCycleSource([m = &measured->machine()]() -> uint64_t { return m->cycles(); });
-    EventRecorder::Scope scope(&events, "run.measured:eqntott", "run");
-    measured->Run(3'000'000'000ull);
+  if (jobs <= 1) {
+    run_measured(&events);
   }
   events.SetCycleSource(nullptr);
   printf("measured on the uninstrumented system (kernel counter): %llu misses\n",

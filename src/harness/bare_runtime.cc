@@ -199,6 +199,16 @@ BareTraceRun RunBareTraced(const BareBuild& build, uint64_t max_instructions) {
   return result;
 }
 
+RunResult RunBareOriginal(const BareBuild& build, uint64_t max_instructions) {
+  auto machine = BootBare(build.original);
+  RunResult run = machine->Run(max_instructions);
+  if (!run.halted || machine->halt_code() != 0) {
+    throw Error(StrFormat("bare original run failed: halted=%d code=0x%x pc=0x%08x",
+                          run.halted ? 1 : 0, machine->halt_code(), machine->pc()));
+  }
+  return run;
+}
+
 std::vector<RefEvent> RunBareReference(const BareBuild& build, uint64_t max_instructions) {
   auto machine = BootBare(build.original);
   std::vector<RefEvent> events;

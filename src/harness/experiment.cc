@@ -1,11 +1,23 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
 #include "support/error.h"
 #include "support/strings.h"
 #include "trace/parser.h"
 
 namespace wrl {
 namespace {
+
+uint64_t WallNowUs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
 
 SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& options,
                         bool tracing, EventRecorder* events) {
@@ -59,6 +71,11 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   events->Begin("experiment:" + workload.name, "experiment");
 
   // ---- Measured: the uninstrumented system with the hardware timer ----
+  // Built on this thread either way: the traced side only needs the
+  // measured *build* outputs (page layouts, original binaries), all of
+  // which are immutable once BuildSystem returns, so with parallel_pair
+  // the measured *run* can overlap the whole traced half on a helper
+  // thread.
   std::unique_ptr<SystemInstance> measured;
   {
     EventRecorder::Scope scope(events, "build.measured", "build");
@@ -66,30 +83,53 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   }
   auto [idle_lo, idle_hi] = measured->IdleRange();
   measured->machine().SetIdleRange(idle_lo, idle_hi);
-  events->SetCycleSource([machine = &measured->machine()] { return machine->cycles(); });
-  RunResult mr;
-  {
-    EventRecorder::Scope scope(events, "run.measured", "run");
-    mr = measured->Run(options.max_instructions);
+
+  uint64_t measured_run_wall_us = 0;
+  uint64_t traced_run_wall_us = 0;
+  // Runs the measured system and fills the measured-side result fields.
+  // `ev` is this side's recorder: the shared one when serial, a private
+  // one when the pair is overlapped (merged back below).
+  auto run_measured = [&](EventRecorder* ev) {
+    ev->SetCycleSource([machine = &measured->machine()] { return machine->cycles(); });
+    RunResult mr;
+    uint64_t wall0 = WallNowUs();
+    {
+      EventRecorder::Scope scope(ev, "run.measured", "run");
+      mr = measured->Run(options.max_instructions);
+    }
+    measured_run_wall_us = WallNowUs() - wall0;
+    if (!mr.halted) {
+      throw Error(StrFormat("measured run of '%s' did not halt (pc=0x%08x)",
+                            workload.name.c_str(), measured->machine().pc()));
+    }
+    result.measured_cycles = measured->ProcessCycles(1);
+    result.measured_utlb = measured->UtlbMissCount();
+    result.measured_idle_instructions = measured->machine().idle_instructions();
+    result.measured_tlbdropins = measured->TlbDropins();
+    result.measured_user_instructions = measured->machine().user_instructions();
+    result.exit_code = measured->ProcessExitCode(1);
+  };
+
+  EventRecorder measured_events;
+  uint64_t measured_epoch_us = 0;
+  std::exception_ptr measured_exc;
+  std::thread measured_thread;
+  if (options.parallel_pair) {
+    measured_epoch_us = events->ElapsedUs();
+    measured_thread = std::thread([&] {
+      try {
+        run_measured(&measured_events);
+      } catch (...) {
+        measured_exc = std::current_exception();
+      }
+    });
+  } else {
+    run_measured(events);
   }
-  if (!mr.halted) {
-    throw Error(StrFormat("measured run of '%s' did not halt (pc=0x%08x)",
-                          workload.name.c_str(), measured->machine().pc()));
-  }
-  result.measured_cycles = measured->ProcessCycles(1);
-  result.measured_utlb = measured->UtlbMissCount();
-  result.measured_idle_instructions = measured->machine().idle_instructions();
-  result.measured_tlbdropins = measured->TlbDropins();
-  result.measured_user_instructions = measured->machine().user_instructions();
-  result.exit_code = measured->ProcessExitCode(1);
 
   // ---- Predicted: the traced system driving the analysis program ----
   std::unique_ptr<SystemInstance> traced;
-  {
-    EventRecorder::Scope scope(events, "build.traced", "build");
-    traced = BuildSystem(MakeConfig(workload, options, true, events));
-  }
-
+  std::unique_ptr<TraceParser> parser;
   PredictorConfig pconfig;
   pconfig.dilation = options.dilation;
   // Page mapping (paper §4.2): the simulator implements the policy.  Under
@@ -102,41 +142,66 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     pconfig.page_map = measured->PageMap();
   }
   TraceDrivenSimulator simulator(pconfig);
-  // Original binaries, for the pixie-style arithmetic-stall estimate.
-  simulator.AddTextImage(measured->kernel_exe());
-  simulator.AddTextImage(measured->workload_orig());
+  std::exception_ptr traced_exc;
+  try {
+    // Original binaries, for the pixie-style arithmetic-stall estimate.
+    simulator.AddTextImage(measured->kernel_exe());
+    simulator.AddTextImage(measured->workload_orig());
 
-  TraceParser parser(&traced->kernel_table());
-  parser.SetUserTable(1, &traced->user_table());
-  if (options.personality == Personality::kMach) {
-    parser.SetUserTable(2, &traced->server_table());
-  }
-  parser.SetInitialContext(kKernelPid);
-  parser.SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
-  parser.SetEventRecorder(events);
-  traced->SetTraceSink(
-      [&parser](const uint32_t* words, size_t count) { parser.Feed(words, count); });
+    {
+      EventRecorder::Scope scope(events, "build.traced", "build");
+      traced = BuildSystem(MakeConfig(workload, options, true, events));
+    }
 
-  events->SetCycleSource([machine = &traced->machine()] { return machine->cycles(); });
-  RunResult tr;
-  {
-    EventRecorder::Scope scope(events, "run.traced", "run");
-    tr = traced->Run(options.max_instructions);
+    parser = std::make_unique<TraceParser>(&traced->kernel_table());
+    parser->SetUserTable(1, &traced->user_table());
+    if (options.personality == Personality::kMach) {
+      parser->SetUserTable(2, &traced->server_table());
+    }
+    parser->SetInitialContext(kKernelPid);
+    parser->SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
+    parser->SetEventRecorder(events);
+    traced->SetTraceSink(
+        [&parser](const uint32_t* words, size_t count) { parser->Feed(words, count); });
+
+    events->SetCycleSource([machine = &traced->machine()] { return machine->cycles(); });
+    RunResult tr;
+    uint64_t wall0 = WallNowUs();
+    {
+      EventRecorder::Scope scope(events, "run.traced", "run");
+      tr = traced->Run(options.max_instructions);
+    }
+    traced_run_wall_us = WallNowUs() - wall0;
+    if (!tr.halted) {
+      throw Error(StrFormat("traced run of '%s' did not halt (pc=0x%08x)", workload.name.c_str(),
+                            traced->machine().pc()));
+    }
+    parser->Finish();
+    result.prediction = simulator.Finish();
+    result.traced_machine_instructions = traced->machine().instructions();
+    result.trace_words = traced->trace_words_drained();
+    result.parser_errors = parser->stats().validation_errors;
+    result.analysis_switches = traced->AnalysisSwitches();
+  } catch (...) {
+    traced_exc = std::current_exception();
   }
-  if (!tr.halted) {
-    throw Error(StrFormat("traced run of '%s' did not halt (pc=0x%08x)", workload.name.c_str(),
-                          traced->machine().pc()));
+  if (measured_thread.joinable()) {
+    measured_thread.join();
   }
-  parser.Finish();
-  result.prediction = simulator.Finish();
-  result.traced_machine_instructions = traced->machine().instructions();
-  result.trace_words = traced->trace_words_drained();
-  result.parser_errors = parser.stats().validation_errors;
-  result.analysis_switches = traced->AnalysisSwitches();
+  if (measured_exc != nullptr) {
+    std::rethrow_exception(measured_exc);
+  }
+  if (traced_exc != nullptr) {
+    std::rethrow_exception(traced_exc);
+  }
+
   if (traced->ProcessExitCode(1) != result.exit_code) {
     throw Error(StrFormat("'%s': traced exit code %u != measured %u — tracing distorted behavior",
                           workload.name.c_str(), traced->ProcessExitCode(1), result.exit_code));
   }
+  result.run_wall_us = measured_run_wall_us + traced_run_wall_us;
+  result.simulated_instructions =
+      measured->machine().instructions() + traced->machine().instructions();
 
   // ---- Registry snapshot across every layer of both runs ----
   // Must happen before the SystemInstances go out of scope: the registry
@@ -144,9 +209,14 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   StatsRegistry registry;
   measured->RegisterStats(registry, "measured.");
   traced->RegisterStats(registry, "traced.");
-  parser.RegisterStats(registry, "parser.");
+  parser->RegisterStats(registry, "parser.");
   simulator.RegisterStats(registry, "predicted.");
   result.stats = registry.Snapshot();
+  if (options.parallel_pair) {
+    // Fold the helper thread's run.measured phase back into the shared
+    // timeline at its true wall offset.
+    events->Absorb(measured_events.TakeEvents(), measured_epoch_us, /*depth_offset=*/1);
+  }
   events->End();  // experiment:<name>
   events->SetCycleSource(nullptr);
   if (events == &local_events) {
@@ -157,10 +227,54 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
 
 std::vector<ExperimentResult> RunSuite(const std::vector<WorkloadSpec>& workloads,
                                        const ExperimentOptions& options) {
-  std::vector<ExperimentResult> results;
-  results.reserve(workloads.size());
-  for (const WorkloadSpec& w : workloads) {
-    results.push_back(RunExperiment(w, options));
+  unsigned jobs = options.jobs == 0 ? 1 : options.jobs;
+  jobs = static_cast<unsigned>(
+      std::min<size_t>(jobs, workloads.empty() ? size_t{1} : workloads.size()));
+  if (jobs <= 1) {
+    std::vector<ExperimentResult> results;
+    results.reserve(workloads.size());
+    for (const WorkloadSpec& w : workloads) {
+      results.push_back(RunExperiment(w, options));
+    }
+    return results;
+  }
+
+  // Worker pool: each worker claims the next unstarted workload and runs
+  // the whole experiment with a private event recorder (options.events is
+  // not thread-safe).  Results land in workload order regardless of which
+  // worker finishes first, and timelines are merged back in that same
+  // order, so reports are scheduling-independent.
+  std::vector<ExperimentResult> results(workloads.size());
+  std::vector<std::exception_ptr> errors(workloads.size());
+  std::atomic<size_t> next{0};
+  ExperimentOptions worker_options = options;
+  worker_options.events = nullptr;
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < workloads.size(); i = next.fetch_add(1)) {
+        try {
+          results[i] = RunExperiment(workloads[i], worker_options);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+  if (options.events != nullptr) {
+    for (ExperimentResult& r : results) {
+      options.events->Absorb(std::move(r.timeline));
+      r.timeline.clear();
+    }
   }
   return results;
 }

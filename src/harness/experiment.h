@@ -33,6 +33,16 @@ struct ExperimentOptions {
   // are recorded here.  When null the experiment records into a private
   // recorder and moves the events into ExperimentResult::timeline.
   EventRecorder* events = nullptr;
+  // Worker threads for RunSuite (1 = serial).  Workers run whole
+  // experiments with private event recorders; results and (when `events`
+  // is shared) timelines are merged back in workload order, so reports are
+  // independent of scheduling.  With jobs > 1 each merged experiment's
+  // event wall clock restarts at that experiment's start.
+  unsigned jobs = 1;
+  // Overlap the two halves of one experiment: the measured run executes on
+  // a second thread while this thread builds and runs the traced system.
+  // All result fields and metrics are unchanged; only wall time shrinks.
+  bool parallel_pair = false;
 };
 
 struct ExperimentResult {
@@ -53,6 +63,13 @@ struct ExperimentResult {
   uint64_t trace_words = 0;
   uint64_t parser_errors = 0;
   uint64_t analysis_switches = 0;
+
+  // Host wall microseconds spent inside the two simulated runs (builds and
+  // analysis excluded) and the simulated instructions they retired — the
+  // raw material for the report-level `sim.mips` throughput metric.  Wall
+  // clock, hence deliberately *not* part of the per-workload metrics.
+  uint64_t run_wall_us = 0;
+  uint64_t simulated_instructions = 0;
 
   // Full registry snapshot across both runs: `measured.*` and `traced.*`
   // system counters, `parser.*`, and `predicted.*` analysis counters.

@@ -33,6 +33,19 @@ std::map<std::string, double> FlatMetrics(const std::vector<ExperimentResult>& r
     metrics[MetricKey(r, "trace_words")] = static_cast<double>(r.trace_words);
     metrics[MetricKey(r, "parser_errors")] = static_cast<double>(r.parser_errors);
   }
+  // Simulator throughput: simulated instructions per wall-second of run
+  // time, aggregated over the whole suite.  Wall-clock dependent, so it is
+  // a single global key — the per-workload keys above stay deterministic.
+  uint64_t sim_instructions = 0;
+  uint64_t run_wall_us = 0;
+  for (const ExperimentResult& r : results) {
+    sim_instructions += r.simulated_instructions;
+    run_wall_us += r.run_wall_us;
+  }
+  if (run_wall_us > 0) {
+    metrics["sim.mips"] =
+        static_cast<double>(sim_instructions) / (static_cast<double>(run_wall_us) * 1e-6) / 1e6;
+  }
   return metrics;
 }
 

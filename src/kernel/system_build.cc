@@ -562,6 +562,7 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
   mconfig.phys_bytes = kOsPhysBytes;
   mconfig.timing = true;
   mconfig.disk = config.disk;
+  mconfig.fastpath = config.fastpath;
   sys.machine_ = std::make_unique<Machine>(mconfig);
   Machine& m = *sys.machine_;
   m.disk().image() = BuildDiskImage(config.files,
@@ -673,8 +674,9 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
       uint32_t pfn = frame_for(vpn);
       mappings.emplace_back(vpn | (writable ? (1u << 24) : 0), pfn);
       std::vector<uint8_t> content = page_bytes(vpn);
-      std::memcpy(m.phys().data() + (static_cast<size_t>(pfn) << kPageShift), content.data(),
-                  kPageBytes);
+      uint32_t paddr = static_cast<uint32_t>(static_cast<size_t>(pfn) << kPageShift);
+      std::memcpy(m.phys().data() + paddr, content.data(), kPageBytes);
+      m.InvalidateDecodeRange(paddr, kPageBytes);
     };
     for (uint32_t i = 0; i < text_pages; ++i) {
       premap(text_vpn0 + i, false);

@@ -53,6 +53,9 @@ struct SystemConfig {
   std::vector<DiskFile> files;
   uint32_t heap_bytes = 8u << 20;  // Heap limit past bss.
   DiskConfig disk;
+  // Simulation fast-path layers for the underlying machine (architectural
+  // results are identical for any setting; see FastPathConfig).
+  FastPathConfig fastpath;
   // Optional timeline: trace drains (mode switches) become instant events.
   EventRecorder* events = nullptr;
 };

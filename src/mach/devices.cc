@@ -62,7 +62,7 @@ uint32_t Disk::ReadReg(uint32_t reg) const {
   }
 }
 
-bool Disk::Tick(uint64_t now, std::vector<uint8_t>& phys_mem) {
+bool Disk::Tick(uint64_t now, PhysMem& phys_mem, uint32_t* dma_paddr, uint32_t* dma_bytes) {
   if (status_ == 1 && now >= completion_time_) {
     size_t bytes = static_cast<size_t>(count_) * kDiskSectorBytes;
     size_t disk_off = static_cast<size_t>(sector_) * kDiskSectorBytes;
@@ -70,6 +70,10 @@ bool Disk::Tick(uint64_t now, std::vector<uint8_t>& phys_mem) {
                   StrFormat("disk DMA out of physical memory at 0x%08x", dma_addr_));
     if (command_ == 1) {
       std::memcpy(phys_mem.data() + dma_addr_, image_.data() + disk_off, bytes);
+      if (dma_paddr != nullptr) {
+        *dma_paddr = dma_addr_;
+        *dma_bytes = static_cast<uint32_t>(bytes);
+      }
     } else {
       std::memcpy(image_.data() + disk_off, phys_mem.data() + dma_addr_, bytes);
     }

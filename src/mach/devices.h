@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "mach/phys_mem.h"
+
 namespace wrl {
 
 // Device register offsets within the device page.
@@ -73,10 +75,14 @@ class Disk {
   uint32_t ReadReg(uint32_t reg) const;
 
   // Advances device time; performs DMA on completion.  Returns true while
-  // the completion interrupt should be asserted.
-  bool Tick(uint64_t now, std::vector<uint8_t>& phys_mem);
+  // the completion interrupt should be asserted.  When a read transfer
+  // completes, `*dma_paddr`/`*dma_bytes` (if non-null) report the physical
+  // range the DMA wrote, so the machine can invalidate predecoded pages.
+  bool Tick(uint64_t now, PhysMem& phys_mem, uint32_t* dma_paddr = nullptr,
+            uint32_t* dma_bytes = nullptr);
 
   bool busy() const { return status_ == 1; }
+  bool irq() const { return irq_; }
   uint64_t completion_time() const { return completion_time_; }
   uint64_t operations() const { return operations_; }
 
@@ -102,6 +108,10 @@ class Clock {
   bool Tick(uint64_t now);
 
   uint32_t period() const { return period_; }
+  bool irq() const { return irq_; }
+  // The next cycle at which Tick can change state (only meaningful while
+  // the clock is running, i.e. period() != 0).
+  uint64_t next_tick() const { return next_tick_; }
   uint64_t ticks() const { return ticks_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "mach/machine.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "support/error.h"
@@ -7,9 +9,25 @@
 
 namespace wrl {
 
+namespace {
+
+// `WRL_FASTPATH=0` forces every fast-path layer off, so a rebuilt-free A/B
+// run (or a bisection of a suspected fast-path bug) is always one
+// environment variable away.
+FastPathConfig ResolveFastPath(const FastPathConfig& configured) {
+  const char* env = std::getenv("WRL_FASTPATH");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    return FastPathConfig::AllOff();
+  }
+  return configured;
+}
+
+}  // namespace
+
 Machine::Machine(const MachineConfig& config)
     : config_(config),
-      phys_(config.phys_bytes, 0),
+      fastpath_(ResolveFastPath(config.fastpath)),
+      phys_(config.phys_bytes),
       tlb_(config.tlb_wired),
       memsys_(config.memsys),
       timing_(config.timing),
@@ -17,26 +35,49 @@ Machine::Machine(const MachineConfig& config)
   WRL_CHECK(config.phys_bytes % kPageBytes == 0);
   WRL_CHECK_MSG(config.phys_bytes <= kDevicePhysBase, "RAM would shadow the device page");
   cop0_[kCop0Prid] = 0x0230;  // R3000-ish.
+  if (fastpath_.predecode) {
+    decode_cache_.resize(config.phys_bytes / kPageBytes);
+  }
+  // device_deadline_ == 0 makes the per-step deadline test always fire, which
+  // *is* the slow path: TickDevices on every instruction.
+  if (fastpath_.event_devices) {
+    UpdateDeviceDeadline();
+  }
 }
 
-uint32_t Machine::PhysRead32(uint32_t paddr) const {
-  WRL_CHECK_MSG(paddr + 4 <= phys_.size() && paddr % 4 == 0,
-                StrFormat("phys read out of range at 0x%08x", paddr));
-  uint32_t v;
-  std::memcpy(&v, phys_.data() + paddr, 4);
-  return v;
-}
-
-void Machine::PhysWrite32(uint32_t paddr, uint32_t value) {
-  WRL_CHECK_MSG(paddr + 4 <= phys_.size() && paddr % 4 == 0,
-                StrFormat("phys write out of range at 0x%08x", paddr));
-  std::memcpy(phys_.data() + paddr, &value, 4);
+void Machine::PhysAccessFail(const char* op, uint32_t paddr) const {
+  throw InternalError(StrFormat("phys %s out of range at 0x%08x", op, paddr));
 }
 
 void Machine::PhysWrite(uint32_t paddr, const std::vector<uint8_t>& bytes) {
-  WRL_CHECK_MSG(paddr + bytes.size() <= phys_.size(),
+  WRL_CHECK_MSG(static_cast<uint64_t>(paddr) + bytes.size() <= phys_.size(),
                 StrFormat("phys image write out of range at 0x%08x", paddr));
   std::memcpy(phys_.data() + paddr, bytes.data(), bytes.size());
+  InvalidateDecodeRange(paddr, bytes.size());
+}
+
+void Machine::InvalidateDecodeRange(uint32_t paddr, size_t bytes) {
+  if (bytes == 0 || decode_cache_.empty()) {
+    return;
+  }
+  uint32_t first = paddr >> kPageShift;
+  uint64_t last = (static_cast<uint64_t>(paddr) + bytes - 1) >> kPageShift;
+  for (uint64_t p = first; p <= last && p < decode_cache_.size(); ++p) {
+    decode_cache_[p].reset();
+  }
+}
+
+Machine::DecodedPage* Machine::FillDecodedPage(uint32_t ppage) {
+  auto page = std::make_unique<DecodedPage>();
+  const uint8_t* base = phys_.data() + (static_cast<size_t>(ppage) << kPageShift);
+  for (size_t i = 0; i < page->inst.size(); ++i) {
+    uint32_t word;
+    std::memcpy(&word, base + i * 4, 4);
+    page->inst[i] = Decode(word);
+  }
+  DecodedPage* out = page.get();
+  decode_cache_[ppage] = std::move(page);
+  return out;
 }
 
 void Machine::LoadImage(const Executable& exe, std::function<uint32_t(uint32_t)> vaddr_to_paddr) {
@@ -46,8 +87,9 @@ void Machine::LoadImage(const Executable& exe, std::function<uint32_t(uint32_t)>
   }
   if (exe.bss_size > 0) {
     uint32_t paddr = vaddr_to_paddr(exe.bss_base);
-    WRL_CHECK(paddr + exe.bss_size <= phys_.size());
+    WRL_CHECK(static_cast<uint64_t>(paddr) + exe.bss_size <= phys_.size());
     std::memset(phys_.data() + paddr, 0, exe.bss_size);
+    InvalidateDecodeRange(paddr, exe.bss_size);
   }
 }
 
@@ -86,6 +128,8 @@ void Machine::RaiseException(Exc code, uint32_t faulting_pc, bool in_delay, uint
   next_pc_ = pc_ + 4;
   in_delay_ = false;
   cycles_ += config_.exception_entry_cycles;
+  // Exception entry is a mode transition (and may rewrite EntryHi above).
+  FlushMicroTlb();
 }
 
 Machine::Translation Machine::Translate(uint32_t vaddr, Access access, uint32_t faulting_pc,
@@ -93,6 +137,19 @@ Machine::Translation Machine::Translate(uint32_t vaddr, Access access, uint32_t 
   Translation t;
   bool user = user_mode();
   bool store = access == Access::kStore;
+  MicroTlb& mt = access == Access::kFetch ? micro_itlb_ : micro_dtlb_;
+  if (fastpath_.micro_tlb && (InKuseg(vaddr) || InKseg2(vaddr))) {
+    uint8_t asid = static_cast<uint8_t>((cop0_[kCop0EntryHi] >> 6) & 63);
+    uint32_t key = MicroTlbKey(vaddr, asid, user);
+    // Stores may only hit a writable (TLB-dirty) cached translation; a clean
+    // page must fall through so the slow path raises the Mod exception.
+    if (mt.key == key && (!store || mt.writable)) {
+      t.ok = true;
+      t.paddr = mt.frame | (vaddr & (kPageBytes - 1));
+      t.cached = mt.cached;
+      return t;
+    }
+  }
   if (InKuseg(vaddr)) {
     uint8_t asid = static_cast<uint8_t>((cop0_[kCop0EntryHi] >> 6) & 63);
     auto index = tlb_.Lookup(vaddr, asid);
@@ -116,6 +173,12 @@ Machine::Translation Machine::Translate(uint32_t vaddr, Access access, uint32_t 
     t.ok = true;
     t.paddr = (e.pfn() << 12) | (vaddr & 0xfff);
     t.cached = !e.uncached();
+    if (fastpath_.micro_tlb) {
+      mt.key = MicroTlbKey(vaddr, asid, user);
+      mt.frame = e.pfn() << kPageShift;
+      mt.cached = t.cached;
+      mt.writable = e.dirty();
+    }
     return t;
   }
   if (user) {
@@ -151,19 +214,59 @@ Machine::Translation Machine::Translate(uint32_t vaddr, Access access, uint32_t 
   t.ok = true;
   t.paddr = (e.pfn() << 12) | (vaddr & 0xfff);
   t.cached = !e.uncached();
+  if (fastpath_.micro_tlb) {
+    mt.key = MicroTlbKey(vaddr, asid, user);
+    mt.frame = e.pfn() << kPageShift;
+    mt.cached = t.cached;
+    mt.writable = e.dirty();
+  }
   return t;
 }
 
 void Machine::TickDevices() {
   uint32_t ip = 0;
-  if (disk_.Tick(cycles_, phys_)) {
+  uint32_t dma_paddr = 0;
+  uint32_t dma_bytes = 0;
+  if (disk_.Tick(cycles_, phys_, &dma_paddr, &dma_bytes)) {
     ip |= 1u << kIrqDisk;
+  }
+  if (dma_bytes != 0) {
+    // A completed disk read just rewrote RAM behind the decode cache.
+    InvalidateDecodeRange(dma_paddr, dma_bytes);
   }
   if (clock_.Tick(cycles_)) {
     ip |= 1u << kIrqClock;
   }
   uint32_t cause = cop0_[kCop0Cause];
   cause &= ~(0xfcu << 8);  // Hardware IP bits 15:10 (IP2..IP7).
+  cause |= ip << 8;
+  cop0_[kCop0Cause] = cause;
+  if (fastpath_.event_devices) {
+    UpdateDeviceDeadline();
+  }
+}
+
+void Machine::UpdateDeviceDeadline() {
+  uint64_t deadline = kNoDeadline;
+  if (disk_.busy()) {
+    deadline = std::min(deadline, disk_.completion_time());
+  }
+  if (clock_.period() != 0) {
+    deadline = std::min(deadline, clock_.next_tick());
+  }
+  device_deadline_ = deadline;
+}
+
+void Machine::SyncIrqCause() {
+  uint32_t ip = 0;
+  if (disk_.irq()) {
+    ip |= 1u << kIrqDisk;
+  }
+  if (clock_.irq()) {
+    ip |= 1u << kIrqClock;
+  }
+  uint32_t cause = cop0_[kCop0Cause];
+  cause &= ~(0xfcu << 8);
   cause |= ip << 8;
   cop0_[kCop0Cause] = cause;
 }
@@ -218,6 +321,13 @@ void Machine::MmioWrite(uint32_t offset, uint32_t value) {
     case kDevClockPeriod:
     case kDevClockAck:
       clock_.WriteReg(offset, value, cycles_);
+      if (fastpath_.event_devices) {
+        // Do NOT tick here — that could advance device time earlier than the
+        // slow path would.  Refresh the IP bits from the (possibly acked)
+        // irq lines and recompute when the models next need attention.
+        SyncIrqCause();
+        UpdateDeviceDeadline();
+      }
       break;
     case kDevDiskSector:
     case kDevDiskAddr:
@@ -225,6 +335,10 @@ void Machine::MmioWrite(uint32_t offset, uint32_t value) {
     case kDevDiskCmd:
     case kDevDiskAck:
       disk_.WriteReg(offset, value, cycles_);
+      if (fastpath_.event_devices) {
+        SyncIrqCause();
+        UpdateDeviceDeadline();
+      }
       break;
     case kDevHostcall:
       hostcall_reply_ = hostcall_handler_ ? hostcall_handler_(value) : 0;
@@ -261,7 +375,11 @@ void Machine::Step() {
   if (halted_) {
     return;
   }
-  TickDevices();
+  // With event_devices off the deadline stays 0, so this fires on every
+  // step — exactly the old per-instruction TickDevices.
+  if (cycles_ >= device_deadline_) {
+    TickDevices();
+  }
   if (CheckInterrupts()) {
     return;
   }
@@ -277,7 +395,15 @@ void Machine::Step() {
     RaiseException(Exc::kAdEL, cur, delay, cur, true, false);
     return;
   }
-  uint32_t word = PhysRead32(ft.paddr);
+  Inst inst;
+  if (fastpath_.predecode && (ft.paddr >> kPageShift) < decode_cache_.size()) [[likely]] {
+    uint32_t ppage = ft.paddr >> kPageShift;
+    DecodedPage* dp = decode_cache_[ppage] ? decode_cache_[ppage].get() : FillDecodedPage(ppage);
+    inst = dp->inst[(ft.paddr & (kPageBytes - 1)) >> 2];
+  } else {
+    // Slow path; also catches fetches beyond RAM (PhysRead32 faults).
+    inst = Decode(PhysRead32(ft.paddr));
+  }
   if (timing_) {
     cycles_ += ft.cached ? memsys_.Fetch(ft.paddr, cycles_) : memsys_.UncachedLoad(ft.paddr, cycles_);
   }
@@ -300,7 +426,7 @@ void Machine::Step() {
   in_delay_ = false;
   ++cycles_;
 
-  Execute(Decode(word), cur, delay);
+  Execute(inst, cur, delay);
 }
 
 void Machine::Execute(const Inst& inst, uint32_t cur, bool delay) {
@@ -500,8 +626,12 @@ void Machine::Execute(const Inst& inst, uint32_t cur, bool delay) {
       if (t.device) {
         value = MmioRead(t.paddr - kDevicePhysBase);
       } else {
-        WRL_CHECK_MSG(t.paddr + bytes <= phys_.size(),
-                      StrFormat("load beyond physical memory: va 0x%08x pa 0x%08x", vaddr, t.paddr));
+        // The 64-bit sum keeps the bounds check honest near 0xfffffffc
+        // (uint32 `paddr + bytes` would wrap and pass).
+        if (static_cast<uint64_t>(t.paddr) + bytes > phys_.size()) [[unlikely]] {
+          throw InternalError(
+              StrFormat("load beyond physical memory: va 0x%08x pa 0x%08x", vaddr, t.paddr));
+        }
         uint32_t w = 0;
         std::memcpy(&w, phys_.data() + t.paddr, bytes);
         value = w;
@@ -539,10 +669,14 @@ void Machine::Execute(const Inst& inst, uint32_t cur, bool delay) {
       if (t.device) {
         MmioWrite(t.paddr - kDevicePhysBase, rt());
       } else {
-        WRL_CHECK_MSG(t.paddr + bytes <= phys_.size(),
-                      StrFormat("store beyond physical memory: va 0x%08x pa 0x%08x", vaddr, t.paddr));
+        if (static_cast<uint64_t>(t.paddr) + bytes > phys_.size()) [[unlikely]] {
+          throw InternalError(
+              StrFormat("store beyond physical memory: va 0x%08x pa 0x%08x", vaddr, t.paddr));
+        }
         uint32_t value = rt();
         std::memcpy(phys_.data() + t.paddr, &value, bytes);
+        // Aligned sub-word stores never cross a page, so one page suffices.
+        InvalidateDecodePage(t.paddr);
       }
       if (timing_) {
         cycles_ += t.cached ? memsys_.Store(t.paddr, cycles_) : memsys_.UncachedStore(t.paddr, cycles_);
@@ -581,9 +715,20 @@ void Machine::Execute(const Inst& inst, uint32_t cur, bool delay) {
             write_rt(cop0_[inst.rd & 15]);
           }
           break;
-        case Op::kMtc0:
-          cop0_[inst.rd & 15] = rt();
+        case Op::kMtc0: {
+          unsigned reg = inst.rd & 15;
+          cop0_[reg] = rt();
+          if (reg == kCop0EntryHi || reg == kCop0Status) {
+            // ASID or mode may have changed.
+            FlushMicroTlb();
+          }
+          if (reg == kCop0Cause && fastpath_.event_devices) {
+            // The slow path rewrites the hardware IP bits from the irq
+            // lines on the very next step; mirror that immediately.
+            SyncIrqCause();
+          }
           break;
+        }
         case Op::kTlbr: {
           unsigned index = (cop0_[kCop0Index] >> 8) & 63;
           cop0_[kCop0EntryHi] = tlb_.entry(index).entry_hi;
@@ -593,11 +738,13 @@ void Machine::Execute(const Inst& inst, uint32_t cur, bool delay) {
         case Op::kTlbwi: {
           unsigned index = (cop0_[kCop0Index] >> 8) & 63;
           tlb_.entry(index) = {cop0_[kCop0EntryHi], cop0_[kCop0EntryLo]};
+          FlushMicroTlb();
           break;
         }
         case Op::kTlbwr: {
           unsigned index = tlb_.Random(instructions_);
           tlb_.entry(index) = {cop0_[kCop0EntryHi], cop0_[kCop0EntryLo]};
+          FlushMicroTlb();
           break;
         }
         case Op::kTlbp: {
@@ -613,6 +760,8 @@ void Machine::Execute(const Inst& inst, uint32_t cur, bool delay) {
           uint32_t stack = status & 0x3f;
           stack = ((stack >> 2) & 0x0f) | (stack & 0x30);
           cop0_[kCop0Status] = (status & ~0x3fu) | stack;
+          // rfe is the kernel->user mode transition.
+          FlushMicroTlb();
           break;
         }
         default:

@@ -19,13 +19,17 @@
 #ifndef WRLTRACE_MACH_MACHINE_H_
 #define WRLTRACE_MACH_MACHINE_H_
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "isa/isa.h"
 #include "mach/address_space.h"
 #include "mach/devices.h"
+#include "mach/phys_mem.h"
 #include "mach/tlb.h"
 #include "memsys/memsys.h"
 #include "obj/object_file.h"
@@ -71,6 +75,27 @@ struct RefEvent {
   uint32_t pc;  // The instruction performing the reference (== vaddr for fetches).
 };
 
+// The layered simulation fast path.  Every layer is a pure optimization:
+// with any combination of flags, the architectural state sequence, every
+// counter, and every trace word are byte-identical to the all-off slow
+// path (tests/fastpath_test.cc holds the machine to that).  `WRL_FASTPATH=0`
+// in the environment forces everything off, for A/B runs without a rebuild.
+struct FastPathConfig {
+  // Cache Decode() results per physical page; invalidated on stores, DMA,
+  // and image loads into the page (self-modifying code keeps working).
+  bool predecode = true;
+  // One-entry fetch/data last-translation caches in front of the 64-entry
+  // TLB scan, keyed on (VPN, ASID, user-mode); flushed on tlbwi/tlbwr,
+  // EntryHi writes, and mode transitions.
+  bool micro_tlb = true;
+  // Tick device models only when the cycle counter crosses the next
+  // computed deadline (clock tick or disk completion) instead of on every
+  // instruction.
+  bool event_devices = true;
+
+  static FastPathConfig AllOff() { return FastPathConfig{false, false, false}; }
+};
+
 struct MachineConfig {
   uint32_t phys_bytes = 64u << 20;
   bool timing = false;
@@ -79,6 +104,7 @@ struct MachineConfig {
   unsigned tlb_wired = 8;
   // Hardware cost of entering an exception handler (flush + vector fetch).
   unsigned exception_entry_cycles = 10;
+  FastPathConfig fastpath;
 };
 
 struct RunResult {
@@ -118,11 +144,29 @@ class Machine {
   Tlb& tlb() { return tlb_; }
 
   // ---- Physical memory ----
-  std::vector<uint8_t>& phys() { return phys_; }
-  const std::vector<uint8_t>& phys() const { return phys_; }
-  uint32_t PhysRead32(uint32_t paddr) const;
-  void PhysWrite32(uint32_t paddr, uint32_t value);
+  // Direct writers of executable code through phys() must call
+  // InvalidateDecodeRange afterwards; PhysWrite*/LoadImage do it themselves.
+  PhysMem& phys() { return phys_; }
+  const PhysMem& phys() const { return phys_; }
+  uint32_t PhysRead32(uint32_t paddr) const {
+    if (static_cast<uint64_t>(paddr) + 4 > phys_.size() || (paddr & 3) != 0) [[unlikely]] {
+      PhysAccessFail("read", paddr);
+    }
+    uint32_t v;
+    std::memcpy(&v, phys_.data() + paddr, 4);
+    return v;
+  }
+  void PhysWrite32(uint32_t paddr, uint32_t value) {
+    if (static_cast<uint64_t>(paddr) + 4 > phys_.size() || (paddr & 3) != 0) [[unlikely]] {
+      PhysAccessFail("write", paddr);
+    }
+    std::memcpy(phys_.data() + paddr, &value, 4);
+    InvalidateDecodePage(paddr);
+  }
   void PhysWrite(uint32_t paddr, const std::vector<uint8_t>& bytes);
+  // Drops cached predecoded instructions for every page overlapping
+  // [paddr, paddr + bytes).
+  void InvalidateDecodeRange(uint32_t paddr, size_t bytes);
   // Places an executable's text/data at fixed physical addresses and zeroes
   // its bss.  `vaddr_to_paddr` maps the image's virtual bases.
   void LoadImage(const Executable& exe, std::function<uint32_t(uint32_t)> vaddr_to_paddr);
@@ -167,6 +211,9 @@ class Machine {
   }
   uint64_t idle_instructions() const { return idle_instructions_; }
 
+  // Active fast-path layers (config, possibly overridden by WRL_FASTPATH=0).
+  const FastPathConfig& fastpath() const { return fastpath_; }
+
  private:
   enum class Access : uint8_t { kFetch, kLoad, kStore };
 
@@ -177,24 +224,69 @@ class Machine {
     bool device = false;
   };
 
+  // One physical page of predecoded instructions.
+  struct DecodedPage {
+    std::array<Inst, kPageBytes / 4> inst;
+  };
+
+  // A one-entry last-translation cache.  `key` packs (VPN, ASID, user-mode);
+  // kuseg VPNs fit 19 bits, so the all-ones sentinel can never match.
+  struct MicroTlb {
+    static constexpr uint32_t kNoKey = 0xffffffffu;
+    uint32_t key = kNoKey;
+    uint32_t frame = 0;  // pfn << kPageShift
+    bool cached = true;
+    bool writable = false;  // TLB dirty bit: stores may only hit when set.
+  };
+  static uint32_t MicroTlbKey(uint32_t vaddr, uint8_t asid, bool user) {
+    return ((vaddr >> kPageShift) << 8) | (uint32_t{asid} << 1) | (user ? 1u : 0u);
+  }
+  void FlushMicroTlb() {
+    micro_itlb_.key = MicroTlb::kNoKey;
+    micro_dtlb_.key = MicroTlb::kNoKey;
+  }
+
   Translation Translate(uint32_t vaddr, Access access, uint32_t faulting_pc, bool in_delay);
   void RaiseException(Exc code, uint32_t faulting_pc, bool in_delay, uint32_t badvaddr,
                       bool badvaddr_valid, bool utlb_vector);
   void Execute(const Inst& inst, uint32_t cur, bool delay);
   bool CheckInterrupts();
   void TickDevices();
+  // Recomputes the next cycle at which TickDevices can change device state.
+  void UpdateDeviceDeadline();
+  // Refreshes the hardware IP bits in Cause from the current irq lines
+  // without advancing device time (used after device-register writes).
+  void SyncIrqCause();
+
+  DecodedPage* FillDecodedPage(uint32_t ppage);
+  void InvalidateDecodePage(uint32_t paddr) {
+    uint32_t ppage = paddr >> kPageShift;
+    if (ppage < decode_cache_.size() && decode_cache_[ppage] != nullptr) {
+      decode_cache_[ppage].reset();
+    }
+  }
 
   uint32_t MmioRead(uint32_t offset);
   void MmioWrite(uint32_t offset, uint32_t value);
 
   void WaitMulDiv();
   void UncountInstruction(uint32_t cur, bool was_user);
+  [[noreturn]] void PhysAccessFail(const char* op, uint32_t paddr) const;
 
   MachineConfig config_;
-  std::vector<uint8_t> phys_;
+  FastPathConfig fastpath_;
+  PhysMem phys_;
   Tlb tlb_;
   MemorySystem memsys_;
   bool timing_;
+
+  std::vector<std::unique_ptr<DecodedPage>> decode_cache_;  // Indexed by phys page.
+  MicroTlb micro_itlb_;
+  MicroTlb micro_dtlb_;
+  // Next cycle at which devices must be ticked.  0 when event_devices is
+  // off (tick every step, the slow path); kNoDeadline when nothing pends.
+  static constexpr uint64_t kNoDeadline = ~uint64_t{0};
+  uint64_t device_deadline_ = 0;
 
   uint32_t gpr_[32] = {0};
   uint32_t hi_ = 0;

@@ -1,103 +1,80 @@
 #include "memsys/memsys.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace wrl {
+
+namespace {
+
+uint32_t Log2Exact(uint32_t value) {
+  uint32_t shift = 0;
+  while ((1u << shift) < value) {
+    ++shift;
+  }
+  return shift;
+}
+
+}  // namespace
 
 DirectMappedCache::DirectMappedCache(const CacheConfig& config) : config_(config) {
   WRL_CHECK(config.line_bytes > 0 && (config.line_bytes & (config.line_bytes - 1)) == 0);
   WRL_CHECK(config.size_bytes % config.line_bytes == 0);
   num_lines_ = config.size_bytes / config.line_bytes;
-  tags_.assign(num_lines_, 0);
-  valid_.assign(num_lines_, false);
+  // The shift/mask fast path needs a power-of-two line count too, and at
+  // least one geometry bit so real (32-bit) tags stay below the sentinel.
+  WRL_CHECK(num_lines_ > 0 && (num_lines_ & (num_lines_ - 1)) == 0);
+  line_shift_ = Log2Exact(config.line_bytes);
+  index_bits_ = Log2Exact(num_lines_);
+  index_mask_ = num_lines_ - 1;
+  WRL_CHECK(line_shift_ + index_bits_ > 0);
+  tags_.assign(num_lines_, kInvalidTag);
 }
 
-bool DirectMappedCache::Access(uint32_t paddr) {
-  uint32_t index = LineIndex(paddr);
-  uint32_t tag = Tag(paddr);
-  if (valid_[index] && tags_[index] == tag) {
-    return true;
-  }
-  valid_[index] = true;
-  tags_[index] = tag;
-  return false;
-}
+void DirectMappedCache::InvalidateAll() { tags_.assign(num_lines_, kInvalidTag); }
 
-bool DirectMappedCache::Update(uint32_t paddr) {
-  uint32_t index = LineIndex(paddr);
-  return valid_[index] && tags_[index] == Tag(paddr);
+WriteBuffer::WriteBuffer(unsigned depth, unsigned cycles_per_entry)
+    : depth_(depth), cycles_per_entry_(cycles_per_entry) {
+  WRL_CHECK(depth_ > 0);
+  ring_.assign(depth_, 0);
 }
-
-void DirectMappedCache::Invalidate(uint32_t paddr) {
-  uint32_t index = LineIndex(paddr);
-  if (valid_[index] && tags_[index] == Tag(paddr)) {
-    valid_[index] = false;
-  }
-}
-
-void DirectMappedCache::InvalidateAll() { valid_.assign(num_lines_, false); }
 
 uint64_t WriteBuffer::Push(uint64_t now) {
-  while (!retire_times_.empty() && retire_times_.front() <= now) {
-    retire_times_.pop_front();
+  // Drop entries that have already retired.
+  while (size_ > 0 && ring_[head_] <= now) {
+    head_ = head_ + 1 == depth_ ? 0 : head_ + 1;
+    --size_;
   }
   uint64_t stall = 0;
-  if (retire_times_.size() >= depth_) {
-    stall = retire_times_.front() - now;
-    retire_times_.pop_front();
+  if (size_ >= depth_) {
+    stall = ring_[head_] - now;
+    head_ = head_ + 1 == depth_ ? 0 : head_ + 1;
+    --size_;
   }
   uint64_t issue = now + stall;
+  unsigned tail = head_ + size_;
+  if (tail >= depth_) {
+    tail -= depth_;
+  }
+  unsigned back = tail == 0 ? depth_ - 1 : tail - 1;
   uint64_t retire =
-      (retire_times_.empty() ? issue : std::max(issue, retire_times_.back())) + cycles_per_entry_;
-  retire_times_.push_back(retire);
+      (size_ == 0 ? issue : std::max(issue, ring_[back])) + cycles_per_entry_;
+  ring_[tail] = retire;
+  ++size_;
   return stall;
 }
 
-void WriteBuffer::Reset() { retire_times_.clear(); }
+void WriteBuffer::Reset() {
+  head_ = 0;
+  size_ = 0;
+}
 
 MemorySystem::MemorySystem(const MemSysConfig& config)
     : config_(config),
       icache_(config.icache),
       dcache_(config.dcache),
       write_buffer_(config.wb_depth, config.wb_cycles_per_entry) {}
-
-uint64_t MemorySystem::Fetch(uint32_t paddr, uint64_t now) {
-  ++stats_.inst_fetches;
-  if (icache_.Access(paddr)) {
-    return 0;
-  }
-  ++stats_.icache_misses;
-  return config_.read_miss_penalty;
-}
-
-uint64_t MemorySystem::Load(uint32_t paddr, uint64_t now) {
-  ++stats_.data_reads;
-  if (dcache_.Access(paddr)) {
-    return 0;
-  }
-  ++stats_.dcache_misses;
-  return config_.read_miss_penalty;
-}
-
-uint64_t MemorySystem::Store(uint32_t paddr, uint64_t now) {
-  ++stats_.data_writes;
-  dcache_.Update(paddr);  // Write-through, no write-allocate.
-  uint64_t stall = write_buffer_.Push(now);
-  stats_.wb_stall_cycles += stall;
-  return stall;
-}
-
-uint64_t MemorySystem::UncachedLoad(uint32_t paddr, uint64_t now) {
-  ++stats_.uncached_reads;
-  return config_.uncached_penalty;
-}
-
-uint64_t MemorySystem::UncachedStore(uint32_t paddr, uint64_t now) {
-  ++stats_.uncached_writes;
-  uint64_t stall = write_buffer_.Push(now);
-  stats_.wb_stall_cycles += stall;
-  return stall;
-}
 
 void MemorySystem::Reset() {
   icache_.InvalidateAll();

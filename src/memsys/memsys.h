@@ -17,7 +17,6 @@
 #define WRLTRACE_MEMSYS_MEMSYS_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -30,40 +29,64 @@ struct CacheConfig {
   uint32_t line_bytes = 16;
 };
 
-// A direct-mapped, physically-indexed cache.
+// A direct-mapped, physically-indexed cache.  This sits on the per-
+// instruction simulation path (one fetch plus up to one data access per
+// step), so the geometry — power-of-two line size and line count — is
+// turned into shifts/masks once at construction, the hot methods live in
+// the header, and an impossible tag value stands in for a valid bit.
 class DirectMappedCache {
  public:
   explicit DirectMappedCache(const CacheConfig& config);
 
   // Looks up `paddr`; on a miss the line is filled.  Returns true on hit.
-  bool Access(uint32_t paddr);
+  bool Access(uint32_t paddr) {
+    uint32_t index = LineIndex(paddr);
+    uint32_t tag = Tag(paddr);
+    if (tags_[index] == tag) {
+      return true;
+    }
+    tags_[index] = tag;
+    return false;
+  }
   // Write-through update: refreshes the line only if already present
   // (no write allocation).  Returns true if the line was present.
-  bool Update(uint32_t paddr);
+  bool Update(uint32_t paddr) { return tags_[LineIndex(paddr)] == Tag(paddr); }
   // Invalidates the line containing `paddr` (used by I-cache flushes).
-  void Invalidate(uint32_t paddr);
+  void Invalidate(uint32_t paddr) {
+    uint32_t index = LineIndex(paddr);
+    if (tags_[index] == Tag(paddr)) {
+      tags_[index] = kInvalidTag;
+    }
+  }
   void InvalidateAll();
 
   uint32_t num_lines() const { return num_lines_; }
   const CacheConfig& config() const { return config_; }
 
  private:
-  uint32_t LineIndex(uint32_t paddr) const { return (paddr / config_.line_bytes) % num_lines_; }
-  uint32_t Tag(uint32_t paddr) const { return paddr / config_.line_bytes / num_lines_; }
+  // 32-bit physical addresses leave tags far below this sentinel.
+  static constexpr uint32_t kInvalidTag = 0xffffffffu;
+
+  uint32_t LineIndex(uint32_t paddr) const { return (paddr >> line_shift_) & index_mask_; }
+  uint32_t Tag(uint32_t paddr) const { return paddr >> (line_shift_ + index_bits_); }
 
   CacheConfig config_;
   uint32_t num_lines_;
+  uint32_t line_shift_;
+  uint32_t index_bits_;
+  uint32_t index_mask_;
   std::vector<uint32_t> tags_;
-  std::vector<bool> valid_;
 };
 
 // The write buffer between the write-through cache and memory.  Entries
 // retire at a fixed rate; a store issued while the buffer is full stalls the
-// CPU until a slot frees up.
+// CPU until a slot frees up.  Occupancy never exceeds `depth` entries (a
+// push into a full buffer first stalls one entry out), so the retire queue
+// is a fixed ring rather than a deque — stores are the hottest data
+// references the simulation makes.
 class WriteBuffer {
  public:
-  WriteBuffer(unsigned depth, unsigned cycles_per_entry)
-      : depth_(depth), cycles_per_entry_(cycles_per_entry) {}
+  WriteBuffer(unsigned depth, unsigned cycles_per_entry);
 
   // Issues a store at time `now`; returns the number of stall cycles.
   uint64_t Push(uint64_t now);
@@ -72,7 +95,9 @@ class WriteBuffer {
  private:
   unsigned depth_;
   unsigned cycles_per_entry_;
-  std::deque<uint64_t> retire_times_;
+  std::vector<uint64_t> ring_;  // depth_ slots.
+  unsigned head_ = 0;           // Oldest in-flight entry.
+  unsigned size_ = 0;
 };
 
 struct MemSysConfig {
@@ -106,11 +131,40 @@ class MemorySystem {
   explicit MemorySystem(const MemSysConfig& config);
 
   // Each returns the stall cycles charged for the access at time `now`.
-  uint64_t Fetch(uint32_t paddr, uint64_t now);
-  uint64_t Load(uint32_t paddr, uint64_t now);
-  uint64_t Store(uint32_t paddr, uint64_t now);
-  uint64_t UncachedLoad(uint32_t paddr, uint64_t now);
-  uint64_t UncachedStore(uint32_t paddr, uint64_t now);
+  // Defined here so the per-instruction simulation loop can inline them.
+  uint64_t Fetch(uint32_t paddr, uint64_t now) {
+    ++stats_.inst_fetches;
+    if (icache_.Access(paddr)) {
+      return 0;
+    }
+    ++stats_.icache_misses;
+    return config_.read_miss_penalty;
+  }
+  uint64_t Load(uint32_t paddr, uint64_t now) {
+    ++stats_.data_reads;
+    if (dcache_.Access(paddr)) {
+      return 0;
+    }
+    ++stats_.dcache_misses;
+    return config_.read_miss_penalty;
+  }
+  uint64_t Store(uint32_t paddr, uint64_t now) {
+    ++stats_.data_writes;
+    dcache_.Update(paddr);  // Write-through, no write-allocate.
+    uint64_t stall = write_buffer_.Push(now);
+    stats_.wb_stall_cycles += stall;
+    return stall;
+  }
+  uint64_t UncachedLoad(uint32_t paddr, uint64_t now) {
+    ++stats_.uncached_reads;
+    return config_.uncached_penalty;
+  }
+  uint64_t UncachedStore(uint32_t paddr, uint64_t now) {
+    ++stats_.uncached_writes;
+    uint64_t stall = write_buffer_.Push(now);
+    stats_.wb_stall_cycles += stall;
+    return stall;
+  }
 
   void FlushICache() { icache_.InvalidateAll(); }
   void Reset();

@@ -62,6 +62,16 @@ std::vector<TimelineEvent> EventRecorder::TakeEvents() {
   return taken;
 }
 
+void EventRecorder::Absorb(std::vector<TimelineEvent> events, uint64_t wall_offset_us,
+                           int depth_offset) {
+  events_.reserve(events_.size() + events.size());
+  for (TimelineEvent& event : events) {
+    event.wall_start_us += wall_offset_us;
+    event.depth += depth_offset;
+    events_.push_back(std::move(event));
+  }
+}
+
 void WriteChromeTraceEvents(JsonWriter& writer, const std::vector<TimelineEvent>& events) {
   for (const TimelineEvent& event : events) {
     writer.BeginObject();

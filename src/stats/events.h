@@ -58,6 +58,15 @@ class EventRecorder {
   const std::vector<TimelineEvent>& events() const { return events_; }
   std::vector<TimelineEvent> TakeEvents();
 
+  // Microseconds since this recorder's construction (its wall epoch).
+  uint64_t ElapsedUs() const { return NowUs(); }
+  // Appends completed events recorded by another (e.g. per-worker)
+  // recorder, shifting wall timestamps by `wall_offset_us` (the other
+  // recorder's epoch expressed on this recorder's clock) and nesting
+  // depths by `depth_offset`.
+  void Absorb(std::vector<TimelineEvent> events, uint64_t wall_offset_us = 0,
+              int depth_offset = 0);
+
   // Emits the timeline as a Chrome trace_event JSON array ("X" complete
   // events and "i" instants).  Open scopes are not emitted.
   void WriteChromeTrace(JsonWriter& writer) const;
