@@ -3,47 +3,114 @@
 // a 64 megabyte buffer ... approximately 32 million instructions of
 // continuous execution").  We sweep the buffer size and report the
 // instructions-per-switch ratio, which should scale linearly.
+//
+// --jobs N (or WRL_JOBS) runs the sweep points on a worker pool; rows,
+// metrics, and the extrapolation are printed in size order either way.
+#include <atomic>
 #include <cstdio>
+#include <exception>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "kernel/system_build.h"
 
 using namespace wrl;
 
+namespace {
+
+struct SweepPoint {
+  uint32_t kb = 0;
+  bool halted = false;
+  uint64_t switches = 0;
+  uint64_t instructions = 0;
+};
+
+SweepPoint RunPoint(const WorkloadSpec& w, double scale, uint32_t kb) {
+  SweepPoint point;
+  point.kb = kb;
+  SystemConfig config;
+  config.tracing = true;
+  config.clock_period = 200000 * 15;
+  config.trace_buf_bytes = kb * 1024;
+  config.program_source = w.source;
+  config.program_name = w.name;
+  config.files = w.files;
+  auto sys = BuildSystem(config);
+  sys->SetTraceSink([](const uint32_t*, size_t) {});
+  RunResult r = sys->Run(3'000'000'000ull);
+  point.halted = r.halted;
+  point.switches = sys->AnalysisSwitches();
+  point.instructions = sys->machine().instructions();
+  return point;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
+  unsigned jobs = BenchJobs(argc, argv);
   WorkloadSpec w = PaperWorkload("compress", scale);
+  const std::vector<uint32_t> sizes = {192u, 384u, 768u, 1536u};
   printf("=== In-kernel buffer sizing vs analysis-mode switches ===\n");
   printf("%-10s %10s %14s %16s\n", "buffer", "switches", "traced instrs", "instrs/switch");
 
+  // The sweep points are independent traced runs; with --jobs they go on a
+  // worker pool (claim-the-next-index), results landing in size order.
+  std::vector<SweepPoint> points(sizes.size());
+  std::vector<std::exception_ptr> errors(sizes.size());
+  unsigned workers = jobs < 1 ? 1u : jobs;
+  if (workers > sizes.size()) {
+    workers = static_cast<unsigned>(sizes.size());
+  }
+  if (workers <= 1) {
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      points[i] = RunPoint(w, scale, sizes[i]);
+    }
+  } else {
+    fprintf(stderr, "  running %zu sweep points on %u workers...\n", sizes.size(), workers);
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < sizes.size(); i = next.fetch_add(1)) {
+          try {
+            points[i] = RunPoint(w, scale, sizes[i]);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& worker : pool) {
+      worker.join();
+    }
+    for (const std::exception_ptr& error : errors) {
+      if (error != nullptr) {
+        std::rethrow_exception(error);
+      }
+    }
+  }
+
   std::map<std::string, double> metrics;
   double per_mb = 0;
-  for (uint32_t kb : {192u, 384u, 768u, 1536u}) {
-    SystemConfig config;
-    config.tracing = true;
-    config.clock_period = 200000 * 15;
-    config.trace_buf_bytes = kb * 1024;
-    config.program_source = w.source;
-    config.program_name = w.name;
-    config.files = w.files;
-    auto sys = BuildSystem(config);
-    sys->SetTraceSink([](const uint32_t*, size_t) {});
-    RunResult r = sys->Run(3'000'000'000ull);
-    if (!r.halted) {
-      printf("%7uKB DID NOT HALT\n", kb);
+  for (const SweepPoint& point : points) {
+    if (!point.halted) {
+      printf("%7uKB DID NOT HALT\n", point.kb);
       continue;
     }
-    uint64_t switches = sys->AnalysisSwitches();
-    uint64_t instrs = sys->machine().instructions();
-    double per_switch = switches ? static_cast<double>(instrs) / switches : 0;
-    printf("%7uKB %10llu %14llu %16.0f\n", kb, static_cast<unsigned long long>(switches),
-           static_cast<unsigned long long>(instrs), per_switch);
-    std::string key = "buf" + std::to_string(kb) + "kb";
-    metrics[key + ".switches"] = static_cast<double>(switches);
-    metrics[key + ".instructions"] = static_cast<double>(instrs);
+    double per_switch =
+        point.switches ? static_cast<double>(point.instructions) / point.switches : 0;
+    printf("%7uKB %10llu %14llu %16.0f\n", point.kb,
+           static_cast<unsigned long long>(point.switches),
+           static_cast<unsigned long long>(point.instructions), per_switch);
+    std::string key = "buf" + std::to_string(point.kb) + "kb";
+    metrics[key + ".switches"] = static_cast<double>(point.switches);
+    metrics[key + ".instructions"] = static_cast<double>(point.instructions);
     metrics[key + ".instrs_per_switch"] = per_switch;
-    if (switches > 0) {
-      per_mb = per_switch / (kb / 1024.0);
+    if (point.switches > 0) {
+      per_mb = per_switch / (point.kb / 1024.0);
     }
   }
   if (per_mb > 0) {

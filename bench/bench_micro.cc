@@ -2,13 +2,17 @@
 // toolchain: assembly, instrumentation, trace parsing, and the simulators.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "asm/assembler.h"
 #include "epoxie/epoxie.h"
 #include "harness/bare_runtime.h"
+#include "harness/replay_engine.h"
 #include "memsys/memsys.h"
 #include "sim/tlb_sim.h"
 #include "support/rng.h"
 #include "trace/parser.h"
+#include "trace/trace_log.h"
 
 namespace wrl {
 namespace {
@@ -126,6 +130,65 @@ void BM_CacheSim(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(addrs.size()));
 }
 BENCHMARK(BM_CacheSim);
+
+// The parser's innermost dependency: one hash lookup per block key.  Built
+// with AddObject (reserve + bulk insert), probed with the realistic mix of
+// hits and misses the key-validation path sees.
+void BM_TraceTableLookup(benchmark::State& state) {
+  std::vector<BlockStatic> blocks(4096);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    blocks[i].key_offset = static_cast<uint32_t>(i * 32 + 8);
+    blocks[i].orig_offset = static_cast<uint32_t>(i * 16);
+    blocks[i].num_insts = 4;
+    blocks[i].mem_ops = {{1, false, 4}};
+  }
+  TraceInfoTable table;
+  table.AddObject(blocks, 0x00500000, 0x00400000);
+  Rng rng(3);
+  std::vector<uint32_t> keys(4096);
+  for (auto& key : keys) {
+    // Three-quarters hits, one quarter misses (the defensive path).
+    uint32_t i = rng.Below(static_cast<uint32_t>(blocks.size()));
+    key = 0x00500000 + i * 32 + 8 + (rng.Below(4) == 0 ? 4 : 0);
+  }
+  uint64_t found = 0;
+  for (auto _ : state) {
+    for (uint32_t key : keys) {
+      found += table.Find(key) != nullptr;
+    }
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_TraceTableLookup);
+
+// Capture-once/replay-many, end to end on a real trace: pack the traced
+// run's words into a TraceLog, parse once, replay the materialized stream
+// through a fresh TLB simulator in kRefBatchCapacity batches.
+void BM_ReplayBatched(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  BareTraceRun run = RunBareTraced(build);
+  TraceLog log;
+  log.Append(run.trace_words.data(), run.trace_words.size());
+  ReplaySource source;
+  source.log = &log;
+  source.kernel_table = &build.table;
+  ReplayEngine engine(std::move(source));
+  engine.Parse();
+  const std::vector<TraceRef>& refs = engine.refs();
+  uint64_t delivered = 0;
+  for (auto _ : state) {
+    TlbSimulator tlb;
+    for (size_t off = 0; off < refs.size(); off += kRefBatchCapacity) {
+      size_t count = std::min(kRefBatchCapacity, refs.size() - off);
+      tlb.OnRefBatch(refs.data() + off, count);
+    }
+    delivered += refs.size();
+    benchmark::DoNotOptimize(tlb.stats().utlb_misses);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+}
+BENCHMARK(BM_ReplayBatched);
 
 void BM_TlbSim(benchmark::State& state) {
   TlbSimulator tlb;

@@ -1,44 +1,117 @@
 // Table 1: the experimental workloads, with their descriptions and the
 // dynamic behavior of our reconstructions (instruction counts and simulated
 // execution times on the uninstrumented Ultrix system).
+//
+// --jobs N (or WRL_JOBS) runs the workloads on a worker pool; rows, metrics,
+// and the timeline are emitted in workload order either way (per-worker
+// event recorders are absorbed deterministically).
+#include <atomic>
 #include <cstdio>
+#include <exception>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "kernel/system_build.h"
 
 using namespace wrl;
 
+namespace {
+
+struct Row {
+  bool halted = false;
+  uint64_t user_instructions = 0;
+  double seconds = 0;
+};
+
+Row RunWorkload(const WorkloadSpec& w, EventRecorder* events) {
+  Row row;
+  SystemConfig config;
+  config.program_source = w.source;
+  config.program_name = w.name;
+  config.files = w.files;
+  auto sys = BuildSystem(config);
+  events->SetCycleSource([m = &sys->machine()]() -> uint64_t { return m->cycles(); });
+  RunResult r;
+  {
+    EventRecorder::Scope scope(events, "run:" + w.name, "run");
+    r = sys->Run(3'000'000'000ull);
+  }
+  events->SetCycleSource(nullptr);
+  row.halted = r.halted;
+  row.user_instructions = sys->machine().user_instructions();
+  row.seconds = static_cast<double>(sys->ProcessCycles(1)) / 25e6;
+  return row;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   double scale = BenchScale(argc, argv);
+  unsigned jobs = BenchJobs(argc, argv);
   printf("=== Table 1: Experimental workloads (scale %.2f) ===\n", scale);
   printf("%-10s %-12s %12s %9s  %s\n", "workload", "class", "user instrs", "seconds",
          "description");
   EventRecorder events;
+  const std::vector<WorkloadSpec> workloads = PaperWorkloads(scale);
+  std::vector<Row> rows(workloads.size());
+
+  unsigned workers = jobs < 1 ? 1u : jobs;
+  if (workers > workloads.size()) {
+    workers = static_cast<unsigned>(workloads.size());
+  }
+  if (workers <= 1) {
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      rows[i] = RunWorkload(workloads[i], &events);
+    }
+  } else {
+    // Worker pool over the workloads: claim the next index, record into a
+    // private recorder, absorb timelines in workload order afterwards.
+    fprintf(stderr, "  running %zu workloads on %u workers...\n", workloads.size(), workers);
+    std::vector<EventRecorder> recorders(workloads.size());
+    std::vector<std::exception_ptr> errors(workloads.size());
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < workloads.size(); i = next.fetch_add(1)) {
+          try {
+            rows[i] = RunWorkload(workloads[i], &recorders[i]);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& worker : pool) {
+      worker.join();
+    }
+    for (const std::exception_ptr& error : errors) {
+      if (error != nullptr) {
+        std::rethrow_exception(error);
+      }
+    }
+    for (EventRecorder& recorder : recorders) {
+      events.Absorb(recorder.TakeEvents());
+    }
+  }
+
   std::map<std::string, double> metrics;
-  for (const WorkloadSpec& w : PaperWorkloads(scale)) {
-    SystemConfig config;
-    config.program_source = w.source;
-    config.program_name = w.name;
-    config.files = w.files;
-    auto sys = BuildSystem(config);
-    events.SetCycleSource(
-        [m = &sys->machine()]() -> uint64_t { return m->cycles(); });
-    EventRecorder::Scope scope(&events, "run:" + w.name, "run");
-    RunResult r = sys->Run(3'000'000'000ull);
-    if (!r.halted) {
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const WorkloadSpec& w = workloads[i];
+    const Row& row = rows[i];
+    if (!row.halted) {
       printf("%-10s DID NOT HALT\n", w.name.c_str());
       continue;
     }
-    double seconds = static_cast<double>(sys->ProcessCycles(1)) / 25e6;
     printf("%-10s %-12s %12llu %9.4f  %s\n", w.name.c_str(),
            w.fp_intensive ? "fp" : "integer",
-           static_cast<unsigned long long>(sys->machine().user_instructions()),
-           seconds, w.description.c_str());
-    metrics[w.name + ".user_instructions"] =
-        static_cast<double>(sys->machine().user_instructions());
-    metrics[w.name + ".seconds"] = seconds;
+           static_cast<unsigned long long>(row.user_instructions), row.seconds,
+           w.description.c_str());
+    metrics[w.name + ".user_instructions"] = static_cast<double>(row.user_instructions);
+    metrics[w.name + ".seconds"] = row.seconds;
   }
-  events.SetCycleSource(nullptr);
   MaybeWriteMetricsReport(argc, argv, "bench_table1", scale, metrics, &events);
   return 0;
 }

@@ -17,10 +17,10 @@
 
 namespace wrl {
 
-// Workload scale for bench runs: --scale=X or WRL_SCALE env (default 0.2,
-// chosen so the full two-personality suite completes in a few minutes).
-inline double BenchScale(int argc, char** argv) {
-  double scale = 0.2;
+// Workload scale for bench runs: --scale=X or WRL_SCALE env, falling back
+// to `fallback` when neither is given.
+inline double BenchScaleOr(int argc, char** argv, double fallback) {
+  double scale = fallback;
   if (const char* env = std::getenv("WRL_SCALE")) {
     scale = std::atof(env);
   }
@@ -30,8 +30,12 @@ inline double BenchScale(int argc, char** argv) {
       scale = std::atof(arg.c_str() + 8);
     }
   }
-  return scale <= 0 ? 0.2 : scale;
+  return scale <= 0 ? fallback : scale;
 }
+
+// The standard bench default: 0.2, chosen so the full two-personality suite
+// completes in a few minutes.
+inline double BenchScale(int argc, char** argv) { return BenchScaleOr(argc, argv, 0.2); }
 
 // Worker threads for suite runs: --jobs=N, --jobs N, or WRL_JOBS env
 // (default 1 = serial).  Parallel runs also overlap each experiment's
@@ -70,10 +74,12 @@ inline std::string BenchJsonPath(int argc, char** argv) {
   return path;
 }
 
+// Runs the full paper-workload suite for one personality.  `base` carries
+// any extra experiment options (replay variants, batch mode, ...);
+// personality/events/jobs are overwritten from the explicit arguments.
 inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality, double scale,
-                                                         EventRecorder* events = nullptr,
-                                                         unsigned jobs = 1) {
-  ExperimentOptions options;
+                                                         EventRecorder* events, unsigned jobs,
+                                                         ExperimentOptions options) {
   options.personality = personality;
   options.events = events;
   const std::vector<WorkloadSpec> workloads = PaperWorkloads(scale);
@@ -96,6 +102,12 @@ inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality
     PrintResultWarnings(r, stderr);
   }
   return results;
+}
+
+inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality, double scale,
+                                                         EventRecorder* events = nullptr,
+                                                         unsigned jobs = 1) {
+  return RunPersonalitySuite(personality, scale, events, jobs, ExperimentOptions());
 }
 
 // Emits the full run report when --json was requested.  Returns true when a

@@ -1,26 +1,36 @@
 // A TLB study in the style the paper's traces enabled (its reference [9],
-// "A Simulation Based Study of TLB Performance"): sweep the simulated TLB
-// size over one workload's trace and watch the miss curve, then compare the
-// 64-entry point against the real kernel counter.
+// "A Simulation Based Study of TLB Performance"), rebuilt on the
+// capture-once / replay-many pipeline: the traced machine runs *once*,
+// its drained trace is captured into a packed TraceLog, and every analysis
+// configuration — the faithful 64-entry production model plus the size
+// sweep — is a cheap replay of that capture, fanned out across --jobs
+// workers.  A K-config sweep costs one traced run + K replays instead of
+// K traced runs.
 //
-//   $ ./build/examples/tlb_study [--json report.json]
+//   $ ./build/examples/tlb_study [--scale=S] [--jobs N] [--sweep-sizes=8,64,...]
+//                                [--json report.json]
 //
 // With --json the run emits a wrlstats/1 report: the full counter-registry
-// snapshot of the traced and measured systems, the sweep's miss curve, and
-// the event timeline (load the file in chrome://tracing or ui.perfetto.dev).
+// snapshot of the traced and measured systems, the capture's compression
+// ratio, the replay fan-out throughput (replay.mrefs_per_sec) next to the
+// live-analysis bound it replaces, the sweep's miss curve, and the event
+// timeline (load the file in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "harness/replay_engine.h"
 #include "kernel/system_build.h"
 #include "sim/tlb_sim.h"
 #include "stats/events.h"
 #include "stats/stats.h"
 #include "support/json.h"
 #include "trace/parser.h"
+#include "trace/trace_log.h"
 #include "workloads/workloads.h"
 
 using namespace wrl;
@@ -28,10 +38,17 @@ using namespace wrl;
 namespace {
 
 // A size-parameterized variant of the analysis TLB (the production one is
-// fixed at the hardware's 64 entries).
-class SweepTlb {
+// fixed at the hardware's 64 entries).  Consumes the replayed stream in
+// batches.
+class SweepTlb : public RefBatchSink {
  public:
   explicit SweepTlb(unsigned entries) : entries_(entries), slots_(entries) {}
+
+  void OnRefBatch(const TraceRef* refs, size_t count) override {
+    for (size_t i = 0; i < count; ++i) {
+      OnRef(refs[i]);
+    }
+  }
 
   void OnRef(const TraceRef& ref) {
     if (ref.kind == TraceRef::kIfetch) {
@@ -53,6 +70,7 @@ class SweepTlb {
     slots_[count_ % entries_] = key;
   }
 
+  unsigned entries() const { return entries_; }
   uint64_t misses() const { return misses_; }
 
  private:
@@ -63,14 +81,41 @@ class SweepTlb {
   uint8_t last_asid_ = 1;
 };
 
+// --sweep-sizes=8,16,... (default: the classic curve).
+std::vector<unsigned> SweepSizes(int argc, char** argv) {
+  std::string spec = "8,16,32,64,128,256";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--sweep-sizes=", 0) == 0) {
+      spec = arg.substr(14);
+    }
+  }
+  std::vector<unsigned> sizes;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    unsigned value = static_cast<unsigned>(std::atoi(spec.substr(pos, comma - pos).c_str()));
+    if (value > 0) {
+      sizes.push_back(value);
+    }
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = BenchJsonPath(argc, argv);
   unsigned jobs = BenchJobs(argc, argv);
-  constexpr double kScale = 0.15;
-  WorkloadSpec w = PaperWorkload("eqntott", kScale);  // The TLB-hostile one.
-  printf("collecting the system trace of %s...\n", w.name.c_str());
+  const double scale = BenchScaleOr(argc, argv, 0.15);
+  const std::vector<unsigned> sizes = SweepSizes(argc, argv);
+  WorkloadSpec w = PaperWorkload("eqntott", scale);  // The TLB-hostile one.
+  printf("collecting the system trace of %s (one traced run, %zu replay configs)...\n",
+         w.name.c_str(), sizes.size() + 1);
 
   EventRecorder events;
   SystemConfig config;
@@ -82,23 +127,10 @@ int main(int argc, char** argv) {
   config.events = &events;
   auto sys = BuildSystem(config);
 
-  const unsigned sizes[] = {8, 16, 32, 64, 128, 256};
-  std::vector<SweepTlb> sweeps;
-  for (unsigned entries : sizes) {
-    sweeps.emplace_back(entries);
-  }
-  TlbSimulator production;  // The faithful 64-entry model.
-  TraceParser parser(&sys->kernel_table());
-  parser.SetUserTable(1, &sys->user_table());
-  parser.SetInitialContext(kKernelPid);
-  parser.SetEventRecorder(&events);
-  parser.SetRefSink([&](const TraceRef& ref) {
-    production.OnRef(ref);
-    for (SweepTlb& t : sweeps) {
-      t.OnRef(ref);
-    }
-  });
-  sys->SetTraceSink([&parser](const uint32_t* words, size_t n) { parser.Feed(words, n); });
+  // Capture once: the drains land in the packed TraceLog; nothing is
+  // parsed while the machine runs.
+  TraceLog log;
+  sys->SetTraceSink([&log](const uint32_t* words, size_t n) { log.Append(words, n); });
 
   // The measured (uninstrumented) system is independent of the sweep; with
   // --jobs > 1 its run overlaps the traced run on a helper thread.
@@ -113,7 +145,7 @@ int main(int argc, char** argv) {
   std::thread measured_thread;
   auto run_measured = [&](EventRecorder* ev) {
     ev->SetCycleSource([m = &measured->machine()]() -> uint64_t { return m->cycles(); });
-    EventRecorder::Scope scope(ev, "run.measured:eqntott", "run");
+    EventRecorder::Scope scope(ev, "run.measured:" + w.name, "run");
     measured->Run(3'000'000'000ull);
   };
   if (jobs > 1) {
@@ -129,11 +161,13 @@ int main(int argc, char** argv) {
   }
 
   RunResult r;
+  uint64_t traced_wall_us = 0;
   {
     events.SetCycleSource([m = &sys->machine()]() -> uint64_t { return m->cycles(); });
-    EventRecorder::Scope scope(&events, "run.traced:eqntott", "run");
+    EventRecorder::Scope scope(&events, "run.traced:" + w.name, "run");
+    uint64_t wall0 = events.ElapsedUs();
     r = sys->Run(3'000'000'000ull);
-    parser.Finish();
+    traced_wall_us = events.ElapsedUs() - wall0;
   }
   if (measured_thread.joinable()) {
     measured_thread.join();
@@ -142,41 +176,90 @@ int main(int argc, char** argv) {
     }
     events.Absorb(measured_events.TakeEvents(), measured_epoch_us);
   }
+  events.SetCycleSource(nullptr);
   if (!r.halted) {
     printf("did not halt!\n");
     return 1;
   }
-  if (parser.stats().validation_errors > 0) {
+
+  // Replay many: one parse of the capture, then the production model and
+  // every sweep size consume the same materialized stream in parallel.
+  ReplaySource source;
+  source.log = &log;
+  source.kernel_table = &sys->kernel_table();
+  source.user_tables.emplace_back(1, &sys->user_table());
+  ReplayEngine engine(std::move(source));
+  {
+    EventRecorder::Scope scope(&events, "replay.parse", "analysis");
+    engine.Parse();
+  }
+  if (engine.parser_stats().validation_errors > 0) {
     fprintf(stderr, "*** WARNING: %llu trace validation errors — the reconstructed trace "
             "is suspect ***\n",
-            static_cast<unsigned long long>(parser.stats().validation_errors));
+            static_cast<unsigned long long>(engine.parser_stats().validation_errors));
   }
 
+  std::vector<ReplayEngine::Config> configs;
+  configs.push_back({"production64", [] { return std::make_unique<TlbSimulator>(); }});
+  for (unsigned entries : sizes) {
+    configs.push_back({"sweep" + std::to_string(entries), [entries] {
+                         return std::make_unique<SweepTlb>(entries);
+                       }});
+  }
+  ReplayEngine::Options ropts;
+  ropts.jobs = jobs;
+  ropts.batch = BatchRefsEnabled();
+  ropts.events = &events;
+  std::vector<ReplayEngine::Outcome> outcomes;
+  {
+    EventRecorder::Scope scope(&events, "replay.fanout", "analysis");
+    outcomes = engine.Run(configs, ropts);
+  }
+  auto* production = static_cast<TlbSimulator*>(outcomes[0].sink.get());
+
   printf("\n%-10s %12s\n", "entries", "misses");
-  for (size_t i = 0; i < sweeps.size(); ++i) {
-    printf("%8u   %12llu\n", sizes[i], static_cast<unsigned long long>(sweeps[i].misses()));
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    auto* sweep = static_cast<SweepTlb*>(outcomes[i].sink.get());
+    printf("%8u   %12llu\n", sweep->entries(), static_cast<unsigned long long>(sweep->misses()));
   }
   printf("\nfaithful 64-entry simulation (random replacement, synthesized\n");
   printf("handler refs): %llu misses\n",
-         static_cast<unsigned long long>(production.stats().utlb_misses));
+         static_cast<unsigned long long>(production->stats().utlb_misses));
 
   if (jobs <= 1) {
     run_measured(&events);
+    events.SetCycleSource(nullptr);
   }
-  events.SetCycleSource(nullptr);
   printf("measured on the uninstrumented system (kernel counter): %llu misses\n",
          static_cast<unsigned long long>(measured->UtlbMissCount()));
+
+  // Throughput accounting: the replay fan-out against the live-analysis
+  // bound it replaced (refs over the traced machine run's wall time — the
+  // fastest live analysis could possibly go, since it runs in lockstep
+  // with trace generation).
+  const double refs = static_cast<double>(engine.refs().size());
+  const double live_mrefs =
+      traced_wall_us == 0 ? 0 : refs / (static_cast<double>(traced_wall_us) * 1e-6) / 1e6;
+  const double speedup = live_mrefs == 0 ? 0 : engine.mrefs_per_sec() / live_mrefs;
+  printf("\ncapture: %llu words -> %llu bytes (%.2fx compression)\n",
+         static_cast<unsigned long long>(log.words()),
+         static_cast<unsigned long long>(log.stored_bytes()), log.CompressionRatio());
+  printf("replay:  %zu configs x %.1fM refs at %.1f Mrefs/s (live-analysis bound "
+         "%.1f Mrefs/s, %.1fx)\n",
+         outcomes.size(), refs / 1e6, engine.mrefs_per_sec(), live_mrefs, speedup);
 
   if (!json_path.empty()) {
     // The wrlstats report: everything above, machine-readable.
     StatsRegistry registry;
     sys->RegisterStats(registry, "traced.");
     measured->RegisterStats(registry, "measured.");
-    parser.RegisterStats(registry, "parser.");
-    production.RegisterStats(registry, "tlbsim.");
-    for (size_t i = 0; i < sweeps.size(); ++i) {
-      const SweepTlb* sweep = &sweeps[i];
-      registry.AddGauge("sweep.entries_" + std::to_string(sizes[i]) + ".misses",
+    engine.RegisterParserStats(registry, "parser.");
+    engine.RegisterStats(registry, "replay.");
+    log.RegisterStats(registry, "tracelog.");
+    production->RegisterStats(registry, "tlbsim.");
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+      const auto* sweep = static_cast<const SweepTlb*>(outcomes[i].sink.get());
+      registry.AddGauge("sweep.entries_" + std::to_string(sweep->entries()) + ".misses",
                         [sweep] { return static_cast<double>(sweep->misses()); });
     }
     StatsSnapshot snapshot = registry.Snapshot();
@@ -185,18 +268,28 @@ int main(int argc, char** argv) {
     writer.BeginObject();
     writer.KV("schema", "wrlstats/1");
     writer.KV("tool", "tlb_study");
-    writer.KV("scale", kScale);
+    writer.KV("scale", scale);
     writer.KV("clock_hz", 25e6);
     writer.Key("metrics").BeginObject();
     writer.KV("eqntott.measured_cycles", static_cast<double>(measured->machine().cycles()));
     writer.KV("eqntott.measured_utlb_misses", static_cast<double>(measured->UtlbMissCount()));
     writer.KV("eqntott.simulated_utlb_misses",
-              static_cast<double>(production.stats().utlb_misses));
+              static_cast<double>(production->stats().utlb_misses));
     writer.KV("eqntott.parser_errors",
-              static_cast<double>(parser.stats().validation_errors));
-    for (size_t i = 0; i < sweeps.size(); ++i) {
-      writer.KV("eqntott.sweep.entries_" + std::to_string(sizes[i]) + ".misses",
-                static_cast<double>(sweeps[i].misses()));
+              static_cast<double>(engine.parser_stats().validation_errors));
+    writer.KV("traced_machine_runs", 1.0);
+    writer.KV("replay.configs", static_cast<double>(outcomes.size()));
+    writer.KV("replay.refs", refs);
+    writer.KV("replay.mrefs_per_sec", engine.mrefs_per_sec());
+    writer.KV("live.mrefs_per_sec", live_mrefs);
+    writer.KV("replay.speedup_vs_live", speedup);
+    writer.KV("tracelog.words", static_cast<double>(log.words()));
+    writer.KV("tracelog.stored_bytes", static_cast<double>(log.stored_bytes()));
+    writer.KV("tracelog.compression_ratio", log.CompressionRatio());
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+      const auto* sweep = static_cast<const SweepTlb*>(outcomes[i].sink.get());
+      writer.KV("eqntott.sweep.entries_" + std::to_string(sweep->entries()) + ".misses",
+                static_cast<double>(sweep->misses()));
     }
     writer.EndObject();
     writer.Key("counters");

@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "harness/replay_engine.h"
 #include "support/error.h"
 #include "support/strings.h"
 #include "trace/parser.h"
@@ -18,6 +19,19 @@ uint64_t WallNowUs() {
                                    std::chrono::steady_clock::now().time_since_epoch())
                                    .count());
 }
+
+// Non-owning pass-through, so a stack-allocated analysis chain can serve as
+// a ReplayEngine config (which wants to own its sinks).
+class BorrowedSink : public RefBatchSink {
+ public:
+  explicit BorrowedSink(RefBatchSink* target) : target_(target) {}
+  void OnRefBatch(const TraceRef* refs, size_t count) override {
+    target_->OnRefBatch(refs, count);
+  }
+
+ private:
+  RefBatchSink* target_;
+};
 
 SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& options,
                         bool tracing, EventRecorder* events) {
@@ -128,8 +142,18 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   }
 
   // ---- Predicted: the traced system driving the analysis program ----
+  // Two analysis modes, bit-identical by construction:
+  //   * live (default): the parser consumes each drain during the traced
+  //     run and feeds the simulator in batches (or per-ref when
+  //     options.batch is off);
+  //   * capture-replay: the drains are captured into a packed TraceLog and
+  //     the analysis — primary config plus every ReplayVariant — replays
+  //     the capture after the run (one parse, K cheap replays).
+  const bool capture = options.capture_replay || !options.replay_variants.empty();
   std::unique_ptr<SystemInstance> traced;
   std::unique_ptr<TraceParser> parser;
+  TraceLog trace_log;
+  std::unique_ptr<ReplayEngine> engine;
   PredictorConfig pconfig;
   pconfig.dilation = options.dilation;
   // Page mapping (paper §4.2): the simulator implements the policy.  Under
@@ -153,16 +177,25 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       traced = BuildSystem(MakeConfig(workload, options, true, events));
     }
 
-    parser = std::make_unique<TraceParser>(&traced->kernel_table());
-    parser->SetUserTable(1, &traced->user_table());
-    if (options.personality == Personality::kMach) {
-      parser->SetUserTable(2, &traced->server_table());
+    if (capture) {
+      traced->SetTraceSink(
+          [&trace_log](const uint32_t* words, size_t count) { trace_log.Append(words, count); });
+    } else {
+      parser = std::make_unique<TraceParser>(&traced->kernel_table());
+      parser->SetUserTable(1, &traced->user_table());
+      if (options.personality == Personality::kMach) {
+        parser->SetUserTable(2, &traced->server_table());
+      }
+      parser->SetInitialContext(kKernelPid);
+      if (options.batch) {
+        parser->SetBatchSink(&simulator);
+      } else {
+        parser->SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
+      }
+      parser->SetEventRecorder(events);
+      traced->SetTraceSink(
+          [&parser](const uint32_t* words, size_t count) { parser->Feed(words, count); });
     }
-    parser->SetInitialContext(kKernelPid);
-    parser->SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
-    parser->SetEventRecorder(events);
-    traced->SetTraceSink(
-        [&parser](const uint32_t* words, size_t count) { parser->Feed(words, count); });
 
     events->SetCycleSource([machine = &traced->machine()] { return machine->cycles(); });
     RunResult tr;
@@ -176,11 +209,65 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       throw Error(StrFormat("traced run of '%s' did not halt (pc=0x%08x)", workload.name.c_str(),
                             traced->machine().pc()));
     }
-    parser->Finish();
+    if (capture) {
+      // Parse the capture once; fan the batch stream out to the primary
+      // analysis chain and every variant.  Variants are cheap replays of
+      // the same materialized stream, not traced machine runs.
+      ReplaySource source;
+      source.log = &trace_log;
+      source.kernel_table = &traced->kernel_table();
+      source.user_tables.emplace_back(1, &traced->user_table());
+      if (options.personality == Personality::kMach) {
+        source.user_tables.emplace_back(2, &traced->server_table());
+      }
+      engine = std::make_unique<ReplayEngine>(std::move(source));
+      std::vector<ReplayEngine::Config> configs;
+      configs.push_back({"primary", [&simulator] {
+                           return std::make_unique<BorrowedSink>(&simulator);
+                         }});
+      for (const ReplayVariant& variant : options.replay_variants) {
+        PredictorConfig vconfig = pconfig;
+        vconfig.memsys = variant.memsys;
+        vconfig.tlb_wired = variant.tlb_wired;
+        if (variant.page_map_mult != 0) {
+          vconfig.page_map = measured->PageMap(variant.page_map_mult);
+        }
+        configs.push_back({variant.name, [vconfig, &measured] {
+                             auto sim = std::make_unique<TraceDrivenSimulator>(vconfig);
+                             sim->AddTextImage(measured->kernel_exe());
+                             sim->AddTextImage(measured->workload_orig());
+                             return sim;
+                           }});
+      }
+      ReplayEngine::Options ropts;
+      ropts.batch = options.batch;
+      ropts.events = events;
+      {
+        EventRecorder::Scope scope(events, "replay:" + workload.name, "analysis");
+        std::vector<ReplayEngine::Outcome> outcomes = engine->Run(configs, ropts);
+        for (size_t i = 1; i < outcomes.size(); ++i) {
+          auto* sim = static_cast<TraceDrivenSimulator*>(outcomes[i].sink.get());
+          ReplayVariantResult vr;
+          vr.name = outcomes[i].name;
+          vr.prediction = sim->Finish();
+          vr.tlb = sim->tlb().stats();
+          vr.refs = outcomes[i].refs;
+          vr.wall_us = outcomes[i].wall_us;
+          result.replays.push_back(std::move(vr));
+        }
+      }
+      result.parser_errors = engine->parser_stats().validation_errors;
+      result.trace_log_words = trace_log.words();
+      result.trace_log_bytes = trace_log.stored_bytes();
+      result.trace_compression = trace_log.CompressionRatio();
+      result.replay_mrefs_per_sec = engine->mrefs_per_sec();
+    } else {
+      parser->Finish();
+      result.parser_errors = parser->stats().validation_errors;
+    }
     result.prediction = simulator.Finish();
     result.traced_machine_instructions = traced->machine().instructions();
     result.trace_words = traced->trace_words_drained();
-    result.parser_errors = parser->stats().validation_errors;
     result.analysis_switches = traced->AnalysisSwitches();
   } catch (...) {
     traced_exc = std::current_exception();
@@ -209,7 +296,13 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   StatsRegistry registry;
   measured->RegisterStats(registry, "measured.");
   traced->RegisterStats(registry, "traced.");
-  parser->RegisterStats(registry, "parser.");
+  if (capture) {
+    engine->RegisterParserStats(registry, "parser.");
+    engine->RegisterStats(registry, "replay.");
+    trace_log.RegisterStats(registry, "tracelog.");
+  } else {
+    parser->RegisterStats(registry, "parser.");
+  }
   simulator.RegisterStats(registry, "predicted.");
   result.stats = registry.Snapshot();
   if (options.parallel_pair) {

@@ -15,9 +15,30 @@
 #include "sim/predictor.h"
 #include "stats/events.h"
 #include "stats/stats.h"
+#include "trace/trace_log.h"
 #include "workloads/workloads.h"
 
 namespace wrl {
+
+// One extra analysis configuration of a capture-once / replay-many sweep:
+// after the primary analysis replays the captured trace, each variant
+// replays the identical stream with its own cache geometry, TLB wiring,
+// and page-map draw — no additional traced machine run.
+struct ReplayVariant {
+  std::string name;
+  MemSysConfig memsys;
+  unsigned tlb_wired = 8;
+  // Page-map permutation multiplier override (0 = the experiment's map).
+  uint32_t page_map_mult = 0;
+};
+
+struct ReplayVariantResult {
+  std::string name;
+  Prediction prediction;
+  TlbSimStats tlb;
+  uint64_t refs = 0;
+  uint64_t wall_us = 0;
+};
 
 struct ExperimentOptions {
   Personality personality = Personality::kUltrix;
@@ -43,6 +64,19 @@ struct ExperimentOptions {
   // a second thread while this thread builds and runs the traced system.
   // All result fields and metrics are unchanged; only wall time shrinks.
   bool parallel_pair = false;
+  // Batched parser→analysis reference delivery (the default; WRL_BATCH=0 in
+  // the environment, or batch=false here, forces the per-ref std::function
+  // path).  Every counter and predicted number is identical either way.
+  bool batch = BatchRefsEnabled();
+  // Capture-once / replay-many: capture the traced run's drained words into
+  // a packed TraceLog and run the analysis as a post-run replay of the
+  // capture instead of live during the traced run.  Bit-identical results;
+  // implied by a non-empty replay_variants.
+  bool capture_replay = false;
+  // Extra analysis configurations replayed from the captured trace (each a
+  // cheap replay, not another traced machine run).  Replays run serially
+  // inside the experiment — RunSuite already parallelizes across workloads.
+  std::vector<ReplayVariant> replay_variants;
 };
 
 struct ExperimentResult {
@@ -70,6 +104,14 @@ struct ExperimentResult {
   // clock, hence deliberately *not* part of the per-workload metrics.
   uint64_t run_wall_us = 0;
   uint64_t simulated_instructions = 0;
+
+  // Capture-once / replay-many outputs (capture mode only; empty/zero when
+  // the analysis ran live).
+  std::vector<ReplayVariantResult> replays;
+  uint64_t trace_log_words = 0;
+  uint64_t trace_log_bytes = 0;       // Stored (packed) bytes.
+  double trace_compression = 0;       // raw_bytes / stored_bytes.
+  double replay_mrefs_per_sec = 0;    // Fan-out throughput of the replays.
 
   // Full registry snapshot across both runs: `measured.*` and `traced.*`
   // system counters, `parser.*`, and `predicted.*` analysis counters.

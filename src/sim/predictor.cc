@@ -8,7 +8,7 @@
 namespace wrl {
 
 TraceDrivenSimulator::TraceDrivenSimulator(const PredictorConfig& config)
-    : config_(config), memsys_(config.memsys) {
+    : config_(config), memsys_(config.memsys), tlb_(config.tlb_wired) {
   tlb_.SetSynthesizedSink([this](const TraceRef& ref) {
     ++result_.synthesized_refs;
     Access(ref);
@@ -96,6 +96,12 @@ void TraceDrivenSimulator::OnRef(const TraceRef& ref) {
   }
   tlb_.OnRef(ref);
   Access(ref);
+}
+
+void TraceDrivenSimulator::OnRefBatch(const TraceRef* refs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    OnRef(refs[i]);
+  }
 }
 
 Prediction TraceDrivenSimulator::Finish() {

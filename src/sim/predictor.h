@@ -40,6 +40,8 @@ struct PredictorConfig {
   // The idle-loop scaling factor compensating for time dilation.
   double dilation = 15.0;
   PageMapFn page_map;
+  // Wired entries of the simulated TLB (replay sweeps vary this).
+  unsigned tlb_wired = 8;
 };
 
 struct Prediction {
@@ -75,9 +77,9 @@ struct Prediction {
   }
 };
 
-// Consumes the reconstructed reference stream (feed it as the parser's ref
-// sink) and produces the prediction.
-class TraceDrivenSimulator {
+// Consumes the reconstructed reference stream (feed it as the parser's
+// batch sink, or per-ref through OnRef) and produces the prediction.
+class TraceDrivenSimulator : public RefBatchSink {
  public:
   explicit TraceDrivenSimulator(const PredictorConfig& config);
 
@@ -86,6 +88,9 @@ class TraceDrivenSimulator {
   void AddTextImage(const Executable& exe);
 
   void OnRef(const TraceRef& ref);
+  // Batched entry point: a tight loop over OnRef with the per-call sink
+  // indirection amortized away.  Identical arithmetic, identical results.
+  void OnRefBatch(const TraceRef* refs, size_t count) override;
   // Finalizes and returns the prediction.
   Prediction Finish();
 

@@ -34,7 +34,7 @@ struct TlbSimStats {
   uint64_t ktlb_misses = 0;    // kseg2 misses (slow general-vector path).
 };
 
-class TlbSimulator {
+class TlbSimulator : public RefBatchSink {
  public:
   // Number of instructions the synthesized UTLB handler executes (our
   // handler: counter maintenance + Context load + tlbwr + return).
@@ -50,6 +50,12 @@ class TlbSimulator {
   // Processes one reference from the parsed trace.  Returns true if the
   // reference took a UTLB miss (and the handler was synthesized).
   bool OnRef(const TraceRef& ref);
+  // Batched entry point: tight loop over OnRef, identical results.
+  void OnRefBatch(const TraceRef* refs, size_t count) override {
+    for (size_t i = 0; i < count; ++i) {
+      OnRef(refs[i]);
+    }
+  }
 
   const TlbSimStats& stats() const { return stats_; }
 

@@ -13,6 +13,7 @@ void TraceInfoTable::Add(uint32_t key_addr, TraceBlockInfo info) {
 
 void TraceInfoTable::AddObject(const std::vector<BlockStatic>& blocks,
                                uint32_t instrumented_text_base, uint32_t original_text_base) {
+  blocks_.reserve(blocks_.size() + blocks.size());
   for (const BlockStatic& b : blocks) {
     TraceBlockInfo info;
     info.orig_addr = original_text_base + b.orig_offset;
@@ -70,9 +71,30 @@ void TraceParser::EmitRef(const TraceRef& ref) {
       ++stats_.stores;
       break;
   }
+  if (batch_sink_ != nullptr) {
+    batch_.push_back(ref);
+    if (batch_.size() >= batch_capacity_) {
+      FlushBatch();
+    }
+  }
   if (ref_sink_) {
     ref_sink_(ref);
   }
+}
+
+void TraceParser::SetBatchSink(RefBatchSink* sink, size_t batch_refs) {
+  FlushBatch();
+  batch_sink_ = sink;
+  batch_capacity_ = batch_refs == 0 ? 1 : batch_refs;
+  batch_.reserve(batch_capacity_);
+}
+
+void TraceParser::FlushBatch() {
+  if (batch_sink_ == nullptr || batch_.empty()) {
+    return;
+  }
+  batch_sink_->OnRefBatch(batch_.data(), batch_.size());
+  batch_.clear();
 }
 
 void TraceParser::EmitFetches() {
@@ -246,6 +268,7 @@ void TraceParser::Feed(const uint32_t* words, size_t count) {
 }
 
 void TraceParser::Finish() {
+  FlushBatch();
   if (expecting_operand_) {
     RecordError("trace ends inside a marker");
   }

@@ -1,0 +1,119 @@
+#include "trace/trace_log.h"
+
+namespace wrl {
+
+namespace {
+
+// Zigzag keeps small negative deltas small: 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline uint32_t ZigZag(int32_t value) {
+  return (static_cast<uint32_t>(value) << 1) ^ static_cast<uint32_t>(value >> 31);
+}
+inline int32_t UnZigZag(uint32_t value) {
+  return static_cast<int32_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+inline void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+inline uint64_t GetVarint(const uint8_t* data, size_t& pos) {
+  uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    uint8_t byte = data[pos++];
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+void TraceLog::Append(const uint32_t* words, size_t count) {
+  chunk_words_.push_back(count);
+  words_ += count;
+  if (!packed_) {
+    raw_.insert(raw_.end(), words, words + count);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t word = words[i];
+    unsigned bucket = Bucket(word);
+    // Modular subtraction keeps the delta within int32 regardless of wrap.
+    int32_t delta = static_cast<int32_t>(word - prev_[bucket]);
+    prev_[bucket] = word;
+    PutVarint(bytes_, (static_cast<uint64_t>(ZigZag(delta)) << 4) | bucket);
+  }
+}
+
+void TraceLog::Replay(const std::function<void(const uint32_t*, size_t)>& sink) const {
+  if (!packed_) {
+    size_t offset = 0;
+    for (uint64_t chunk : chunk_words_) {
+      sink(raw_.data() + offset, chunk);
+      offset += chunk;
+    }
+    return;
+  }
+  uint32_t prev[16] = {};
+  size_t pos = 0;
+  std::vector<uint32_t> buffer;
+  for (uint64_t chunk : chunk_words_) {
+    buffer.clear();
+    buffer.reserve(chunk);
+    for (uint64_t i = 0; i < chunk; ++i) {
+      uint64_t coded = GetVarint(bytes_.data(), pos);
+      unsigned bucket = coded & 0xf;
+      uint32_t word = prev[bucket] + static_cast<uint32_t>(UnZigZag(
+                                         static_cast<uint32_t>(coded >> 4)));
+      prev[bucket] = word;
+      buffer.push_back(word);
+    }
+    sink(buffer.data(), buffer.size());
+  }
+}
+
+std::vector<uint32_t> TraceLog::Words() const {
+  std::vector<uint32_t> all;
+  all.reserve(words_);
+  Replay([&all](const uint32_t* words, size_t count) {
+    all.insert(all.end(), words, words + count);
+  });
+  return all;
+}
+
+void TraceLog::Clear() {
+  bytes_.clear();
+  raw_.clear();
+  chunk_words_.clear();
+  words_ = 0;
+  for (uint32_t& p : prev_) {
+    p = 0;
+  }
+}
+
+uint64_t TraceLog::stored_bytes() const {
+  return packed_ ? bytes_.size() : raw_.size() * 4;
+}
+
+double TraceLog::CompressionRatio() const {
+  uint64_t stored = stored_bytes();
+  return stored == 0 ? 1.0 : static_cast<double>(raw_bytes()) / static_cast<double>(stored);
+}
+
+void TraceLog::RegisterStats(StatsRegistry& registry, const std::string& prefix) {
+  registry.AddCounter(prefix + "words", &words_);
+  registry.AddGauge(prefix + "chunks", [this] { return static_cast<double>(chunks()); });
+  registry.AddGauge(prefix + "raw_bytes", [this] { return static_cast<double>(raw_bytes()); });
+  registry.AddGauge(prefix + "stored_bytes",
+                    [this] { return static_cast<double>(stored_bytes()); });
+  registry.AddGauge(prefix + "compression_ratio", [this] { return CompressionRatio(); });
+}
+
+}  // namespace wrl
