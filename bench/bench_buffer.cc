@@ -26,7 +26,7 @@ struct SweepPoint {
   uint64_t instructions = 0;
 };
 
-SweepPoint RunPoint(const WorkloadSpec& w, double scale, uint32_t kb) {
+SweepPoint RunPoint(const WorkloadSpec& w, uint32_t kb) {
   SweepPoint point;
   point.kb = kb;
   SystemConfig config;
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   }
   if (workers <= 1) {
     for (size_t i = 0; i < sizes.size(); ++i) {
-      points[i] = RunPoint(w, scale, sizes[i]);
+      points[i] = RunPoint(w, sizes[i]);
     }
   } else {
     fprintf(stderr, "  running %zu sweep points on %u workers...\n", sizes.size(), workers);
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
       pool.emplace_back([&] {
         for (size_t i = next.fetch_add(1); i < sizes.size(); i = next.fetch_add(1)) {
           try {
-            points[i] = RunPoint(w, scale, sizes[i]);
+            points[i] = RunPoint(w, sizes[i]);
           } catch (...) {
             errors[i] = std::current_exception();
           }

@@ -13,6 +13,7 @@
 #include "support/rng.h"
 #include "trace/parser.h"
 #include "trace/trace_log.h"
+#include "verify/verify.h"
 
 namespace wrl {
 namespace {
@@ -56,6 +57,18 @@ void BM_EpoxieInstrument(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EpoxieInstrument);
+
+void BM_VerifyObject(benchmark::State& state) {
+  ObjectFile obj = Assemble("bench.s", kBody);
+  EpoxieConfig config;
+  InstrumentResult res = Instrument(obj, config);
+  VerifyOptions options;
+  options.epoxie = config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VerifyInstrumentedObject(obj, res, options));
+  }
+}
+BENCHMARK(BM_VerifyObject);
 
 void BM_TracedExecution(benchmark::State& state) {
   BareBuild build = BuildBareTraced(kBody);

@@ -74,7 +74,7 @@ buf:    .space 24576
   parser.SetInitialContext(kKernelPid);
 
   uint64_t kernel_entries = 0;
-  parser.SetMetaSink([&](MarkerCode code, uint32_t operand) {
+  parser.SetMetaSink([&](MarkerCode code, uint32_t /*operand*/) {
     if (code == kMarkKernelEnter) {
       ++kernel_entries;
     }

@@ -1,6 +1,7 @@
 #include "epoxie/epoxie.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <set>
 
@@ -244,11 +245,19 @@ class Instrumenter {
     if (slot_touched != 0) {
       Fail(index + 1, "delay-slot instruction touches a stolen register");
     }
-    bool cti_writes_ra = (RegsWritten(cti) & kRaMask) != 0;
     bool slot_is_mem = MemAccessBytes(slot.op) != 0;
     if (traced && slot_is_mem) {
-      if (cti_writes_ra && (RegsRead(slot) & kRaMask) != 0) {
-        Fail(index + 1, "delay-slot memory op reads ra written by the jump");
+      // The trace call is hoisted above the CTI, so the announcement reads
+      // the slot's registers *before* the CTI's link write takes effect.
+      // Any overlap (ra for jal/bltzal, an arbitrary rd for jalr) would
+      // make memtrace record a stale address: reject rather than silently
+      // mis-rewrite.
+      uint32_t stale = RegsWritten(cti) & RegsRead(slot);
+      if (stale != 0) {
+        Fail(index + 1,
+             StrFormat("delay-slot memory op reads $%s, which the jump writes; the "
+                       "hoisted memtrace call cannot legally announce it",
+                       RegName(static_cast<uint8_t>(std::countr_zero(stale)))));
       }
       if (IsStolenReg(slot.rs)) {
         Fail(index + 1, "delay-slot memory op based on a stolen register");
@@ -300,7 +309,7 @@ class Instrumenter {
     return ops;
   }
 
-  void EmitEpoxieHeader(const BlockRange& block, uint32_t n_trace_words) {
+  void EmitEpoxieHeader(uint32_t n_trace_words) {
     Emit(EncodeIType(Op::kSw, kXreg3, kRa, static_cast<uint16_t>(kBkSavedRa)));
     EmitJalTo(config_.bbtrace_symbol);
     Emit(EncodeIType(Op::kOri, kZero, kZero, static_cast<uint16_t>(n_trace_words)));
@@ -344,7 +353,7 @@ class Instrumenter {
         uint32_t n_trace_words = 1 + static_cast<uint32_t>(mem_ops.size());
         WRL_CHECK_MSG(n_trace_words < 0x8000, "basic block generates too much trace");
         if (config_.mode == InstrumentMode::kEpoxie) {
-          EmitEpoxieHeader(block, n_trace_words);
+          EmitEpoxieHeader(n_trace_words);
           // Key = return address of the jal at header_pos+1: (pos+1)+2.
           BlockStatic bs;
           bs.key_offset = (header_pos + 3) * 4;

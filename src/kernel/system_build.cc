@@ -53,7 +53,9 @@ std::vector<uint8_t> BuildDiskImage(const std::vector<DiskFile>& files, uint32_t
     Put32(image, entry + 24, next_sector);
     Put32(image, entry + 28, length);
     WRL_CHECK_MSG((next_sector + sectors) * 512 <= disk_bytes, "disk image overflow");
-    std::memcpy(image.data() + next_sector * 512, f.content.data(), f.content.size());
+    if (!f.content.empty()) {
+      std::memcpy(image.data() + next_sector * 512, f.content.data(), f.content.size());
+    }
     next_sector += sectors;
   }
   return image;

@@ -103,7 +103,7 @@ class Disk {
 class Clock {
  public:
   void WriteReg(uint32_t reg, uint32_t value, uint64_t now);
-  uint32_t ReadReg(uint32_t reg) const { return period_; }
+  uint32_t ReadReg(uint32_t /*reg*/) const { return period_; }
   // Returns true while the clock interrupt should be asserted.
   bool Tick(uint64_t now);
 

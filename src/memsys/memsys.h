@@ -132,7 +132,7 @@ class MemorySystem {
 
   // Each returns the stall cycles charged for the access at time `now`.
   // Defined here so the per-instruction simulation loop can inline them.
-  uint64_t Fetch(uint32_t paddr, uint64_t now) {
+  uint64_t Fetch(uint32_t paddr, uint64_t /*now*/) {
     ++stats_.inst_fetches;
     if (icache_.Access(paddr)) {
       return 0;
@@ -140,7 +140,7 @@ class MemorySystem {
     ++stats_.icache_misses;
     return config_.read_miss_penalty;
   }
-  uint64_t Load(uint32_t paddr, uint64_t now) {
+  uint64_t Load(uint32_t paddr, uint64_t /*now*/) {
     ++stats_.data_reads;
     if (dcache_.Access(paddr)) {
       return 0;
@@ -155,11 +155,11 @@ class MemorySystem {
     stats_.wb_stall_cycles += stall;
     return stall;
   }
-  uint64_t UncachedLoad(uint32_t paddr, uint64_t now) {
+  uint64_t UncachedLoad(uint32_t /*paddr*/, uint64_t /*now*/) {
     ++stats_.uncached_reads;
     return config_.uncached_penalty;
   }
-  uint64_t UncachedStore(uint32_t paddr, uint64_t now) {
+  uint64_t UncachedStore(uint32_t /*paddr*/, uint64_t now) {
     ++stats_.uncached_writes;
     uint64_t stall = write_buffer_.Push(now);
     stats_.wb_stall_cycles += stall;

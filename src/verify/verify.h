@@ -1,0 +1,132 @@
+// wrlverify: static verification of epoxie-instrumented binaries.
+//
+// The paper's validation story (§4, Tables 1–3) rests on the rewriter being
+// exactly right: every basic block carries its 3-instruction `jal bbtrace`
+// header, every memory instruction its `jal memtrace` expansion, stolen
+// registers are shadowed, and every address correction is static.  Until
+// now those invariants were only checked *dynamically* — a traced run or a
+// §4.3 parser defense had to trip.  This library establishes them by
+// analysis of the instrumented artifact itself: it lifts instrumented text
+// into a basic-block CFG with the ISA decoder and runs four
+// dataflow/consistency passes:
+//
+//   shape       every reachable traced block begins with the 3-instruction
+//               bb header (11 for pixie mode) and every load/store is
+//               covered by a correct `jal memtrace` announcement — packed
+//               in the delay slot only when that is legal (the Figure-2
+//               `sw ra` hazard, self-clobbering loads, stolen-register and
+//               CTI-clobber hazards all force the surrogate form), with
+//               SAVED_RA refreshed after every mid-block ra write;
+//   liveness    an abstract interpretation proving original code never
+//               reads or clobbers the three stolen registers while they
+//               hold tracing state: every steal is dominated by a
+//               spill-slot save, reads see shadow-slot reloads, and the
+//               tracing state is restored before any support call or block
+//               exit;
+//   relocation  the relocation/address-correction audit: relocation types
+//               agree with the instructions they patch, every j/jal is
+//               statically correctable (carries a Jump26 relocation), the
+//               original object's relocations survive at their moved
+//               offsets, and every retargeted branch lands exactly on the
+//               instrumented position of its original target;
+//   tracetable  the per-block static load/store maps emitted by epoxie
+//               (what TraceInfoTable serves to the parser) agree with the
+//               instructions actually present in each block: key offsets
+//               point at the bbtrace return slot, instruction counts,
+//               flags and memory-op maps match the text, keys are unique.
+//
+// Findings are structured diagnostics (severity, pass, pc, block, message)
+// that bind into wrlstats and render as the `wrlverify/1` JSON schema; the
+// `wrlverify` tool runs the passes over every workload image, the
+// pixie-mode baselines, and the instrumented kernel in CI.
+#ifndef WRLTRACE_VERIFY_VERIFY_H_
+#define WRLTRACE_VERIFY_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "epoxie/epoxie.h"
+#include "obj/object_file.h"
+#include "stats/stats.h"
+
+namespace wrl {
+
+class JsonWriter;
+
+enum class VerifySeverity : uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+const char* VerifySeverityName(VerifySeverity severity);
+
+enum class VerifyPass : uint8_t {
+  kCfg = 0,         // Lifting problems: undecodable words, bad block bounds.
+  kShape = 1,       // Instrumentation-shape check.
+  kLiveness = 2,    // Stolen-register liveness.
+  kRelocation = 3,  // Relocation/address-correction audit.
+  kTraceTable = 4,  // Static block-map cross-check.
+};
+const char* VerifyPassName(VerifyPass pass);
+constexpr unsigned kNumVerifyPasses = 5;
+
+// One structured diagnostic.  `pc` is a byte address in the instrumented
+// text (offset-based for raw objects; absolute once VerifyOptions supplies
+// the linked text base).
+struct VerifyFinding {
+  VerifySeverity severity = VerifySeverity::kError;
+  VerifyPass pass = VerifyPass::kShape;
+  uint32_t pc = 0;
+  int32_t block = -1;  // Original-block index, -1 when not block-scoped.
+  std::string message;
+};
+
+struct VerifyStats {
+  uint64_t blocks = 0;        // Basic blocks lifted.
+  uint64_t traced_blocks = 0; // Blocks carrying instrumentation.
+  uint64_t instructions = 0;  // Original instructions accounted for.
+  uint64_t mem_ops = 0;       // Memory operations checked for coverage.
+  uint64_t relocations = 0;   // Relocation records audited.
+  uint64_t errors = 0;
+  uint64_t warnings = 0;
+};
+
+struct VerifyReport {
+  std::vector<VerifyFinding> findings;
+  VerifyStats stats;
+
+  bool ok() const { return stats.errors == 0; }
+  // Findings attributed to one pass (any severity).
+  size_t CountForPass(VerifyPass pass) const;
+  const VerifyFinding* FirstForPass(VerifyPass pass) const;
+  // Merges another report (findings appended, stats summed).
+  void Merge(const VerifyReport& other);
+
+  // Binds the stats fields into `registry`; the report must outlive
+  // snapshots of the registry.
+  void RegisterStats(StatsRegistry& registry, const std::string& prefix = "verify.");
+  // Renders {stats: {...}, findings: [{severity, pass, pc, block, message}]}.
+  void WriteJson(JsonWriter& writer) const;
+};
+
+struct VerifyOptions {
+  // Mode and support-routine symbol names the instrumented object was
+  // produced with (must match the EpoxieConfig used to instrument).
+  EpoxieConfig epoxie;
+  // Added to every reported pc, so findings against an object that has been
+  // linked can be reported in image terms.
+  uint32_t text_base = 0;
+};
+
+// Object-level verification: checks that `result` (instrumented object +
+// static block map) is a faithful instrumentation of `original`.  This is
+// the full four-pass analysis.
+VerifyReport VerifyInstrumentedObject(const ObjectFile& original, const InstrumentResult& result,
+                                      const VerifyOptions& options = {});
+
+// Image-level audit of a linked executable: every control transfer lands
+// inside the text segment, no CTI sits in another CTI's delay slot, block
+// annotations and the entry point are valid, and segments do not overlap.
+// Applies to any image (instrumented or not).
+VerifyReport VerifyImage(const Executable& exe);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_VERIFY_VERIFY_H_

@@ -483,6 +483,35 @@ main:   jr   $ra
   EXPECT_THROW(Instrument(obj, EpoxieConfig{}), Error);
 }
 
+TEST(EpoxieStructure, RejectsDelaySlotMemReadingCtiLink) {
+  // jalr writes $t2, and the delay-slot load is based on $t2.  The hoisted
+  // memtrace announcement would read the pre-jump value while the load
+  // executes with the link value — epoxie must refuse rather than silently
+  // mis-rewrite (regression: only the ra/jal case used to be checked).
+  ObjectFile obj = Assemble("body.s", R"(
+main:   jalr $t2, $t0
+        lw   $t3, 0($t2)
+)");
+  try {
+    Instrument(obj, EpoxieConfig{});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("which the jump writes"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EpoxieStructure, AcceptsDelaySlotMemNotTouchingCtiLink) {
+  // Same CTI, but the slot's base is unrelated to the link register: the
+  // hoisted announcement is sound and instrumentation must succeed.
+  ObjectFile obj = Assemble("body.s", R"(
+main:   jalr $t2, $t0
+        lw   $t3, 0($sp)
+)");
+  InstrumentResult result = Instrument(obj, EpoxieConfig{});
+  EXPECT_GT(result.instrumented_text_words, result.original_text_words);
+}
+
 TEST(EpoxieStructure, BlockKeysAreUnique) {
   ObjectFile obj = Assemble("body.s", R"(
         .globl main

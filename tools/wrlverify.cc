@@ -1,0 +1,234 @@
+// wrlverify: the static instrumentation verifier CLI.
+//
+// Rebuilds the same artifacts the harness runs — the instrumented kernel
+// and every paper workload, in epoxie mode and the pixie baseline — and
+// runs the wrl_verify passes (shape, liveness, relocation, tracetable)
+// over each instrumented object plus the image-level audit over each
+// linked executable.  This is the CI gate: any error-severity finding
+// makes the tool exit nonzero.
+//
+// Usage:
+//   wrlverify [--json PATH] [--scale F] [--quiet]
+//
+// --json writes the machine-readable report (schema "wrlverify/1"):
+//   {
+//     "schema": "wrlverify/1",
+//     "targets": [{"name": ..., "stats": {...}, "findings": [...]}, ...],
+//     "totals": {"targets": N, "errors": N, "warnings": N, ...}
+//   }
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "epoxie/epoxie.h"
+#include "kernel/kernel_asm.h"
+#include "kernel/kernel_config.h"
+#include "kernel/system_build.h"
+#include "obj/object_file.h"
+#include "stats/stats.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "trace/abi.h"
+#include "trace/support_asm.h"
+#include "verify/verify.h"
+#include "workloads/workloads.h"
+
+using namespace wrl;
+
+namespace {
+
+struct TargetReport {
+  std::string name;
+  VerifyReport report;
+};
+
+const char* ModeName(InstrumentMode mode) {
+  return mode == InstrumentMode::kEpoxie ? "epoxie" : "pixie";
+}
+
+// The absolute bookkeeping-area symbol the user link environment provides
+// (mirrors the harness's link recipe in src/kernel/system_build.cc).
+ObjectFile UserAbsSymbols() {
+  ObjectFile obj;
+  obj.source_name = "user-abs";
+  Symbol bk;
+  bk.name = "bk_area";
+  bk.value = kUserBkBase;
+  bk.section = SectionId::kAbs;
+  bk.global = true;
+  obj.symbols.push_back(bk);
+  return obj;
+}
+
+class Runner {
+ public:
+  explicit Runner(bool quiet) : quiet_(quiet) {}
+
+  void AddObjectTarget(const std::string& name, const ObjectFile& orig,
+                       const InstrumentResult& res, const EpoxieConfig& config,
+                       uint32_t text_base) {
+    VerifyOptions options;
+    options.epoxie = config;
+    options.text_base = text_base;
+    Finish(name, VerifyInstrumentedObject(orig, res, options));
+  }
+
+  void AddImageTarget(const std::string& name, const Executable& exe) {
+    Finish(name, VerifyImage(exe));
+  }
+
+  const std::vector<TargetReport>& targets() const { return targets_; }
+  const VerifyReport& total() const { return total_; }
+
+ private:
+  void Finish(const std::string& name, VerifyReport report) {
+    if (!quiet_) {
+      printf("%-38s %5llu blocks %7llu insts %5llu relocs  %llu errors, %llu warnings\n",
+             name.c_str(), static_cast<unsigned long long>(report.stats.blocks),
+             static_cast<unsigned long long>(report.stats.instructions),
+             static_cast<unsigned long long>(report.stats.relocations),
+             static_cast<unsigned long long>(report.stats.errors),
+             static_cast<unsigned long long>(report.stats.warnings));
+    }
+    for (const VerifyFinding& f : report.findings) {
+      fprintf(f.severity == VerifySeverity::kError ? stderr : stdout,
+              "  [%s] %s: pc=0x%08x block=%d: %s\n", VerifySeverityName(f.severity),
+              VerifyPassName(f.pass), f.pc, f.block, f.message.c_str());
+    }
+    total_.Merge(report);
+    targets_.push_back({name, std::move(report)});
+  }
+
+  bool quiet_;
+  std::vector<TargetReport> targets_;
+  VerifyReport total_;
+};
+
+void WriteJsonReport(const std::string& path, const Runner& runner,
+                     const StatsRegistry& registry) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("schema", "wrlverify/1");
+  writer.Key("targets");
+  writer.BeginArray();
+  for (const TargetReport& t : runner.targets()) {
+    writer.BeginObject();
+    writer.KV("name", t.name);
+    writer.Key("report");
+    t.report.WriteJson(writer);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("totals");
+  writer.BeginObject();
+  writer.KV("targets", static_cast<uint64_t>(runner.targets().size()));
+  for (const std::string& name : registry.Names()) {
+    writer.KV(name, registry.CounterValue(name));
+  }
+  writer.EndObject();
+  writer.EndObject();
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("wrlverify: cannot write " + path);
+  }
+  out << writer.TakeString() << "\n";
+}
+
+int Run(int argc, char** argv) {
+  std::string json_path;
+  double scale = 1.0;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      fprintf(stderr, "usage: wrlverify [--json PATH] [--scale F] [--quiet]\n");
+      return 2;
+    }
+  }
+
+  Runner runner(quiet);
+
+  // ---- Kernel: epoxie-instrumented object + linked image ----
+  ObjectFile kernel_obj = Assemble("kernel.s", KernelAsm());
+  ObjectFile support = Assemble("support.s", TraceSupportAsm());
+  EpoxieConfig kernel_config;
+  InstrumentResult ikernel = Instrument(kernel_obj, kernel_config);
+  runner.AddObjectTarget("kernel/epoxie", kernel_obj, ikernel, kernel_config, kKseg0);
+  LinkOptions kopts;
+  kopts.text_base = kKseg0;
+  kopts.fixed_data_base = kKernelDataBase;
+  kopts.entry_symbol = "_start";
+  Executable kernel_exe = Link({ikernel.object, support}, kopts);
+  runner.AddImageTarget("kernel/epoxie/image", kernel_exe);
+
+  // ---- User programs: every workload plus the Mach server, both modes ----
+  ObjectFile userlib = Assemble("userlib.s", UserLibAsm());
+  ObjectFile abs = UserAbsSymbols();
+  std::vector<WorkloadSpec> workloads = PaperWorkloads(scale);
+  WorkloadSpec server;
+  server.name = "server";
+  server.source = ServerAsm();
+  workloads.push_back(server);
+
+  for (InstrumentMode mode : {InstrumentMode::kEpoxie, InstrumentMode::kPixie}) {
+    EpoxieConfig config;
+    config.mode = mode;
+    InstrumentResult ilib = Instrument(userlib, config);
+    runner.AddObjectTarget(std::string("userlib/") + ModeName(mode), userlib, ilib, config,
+                           kUserTracedTextBase);
+    for (const WorkloadSpec& w : workloads) {
+      ObjectFile prog = Assemble(w.name + ".s", w.source);
+      InstrumentResult iprog = Instrument(prog, config);
+      runner.AddObjectTarget(w.name + "/" + ModeName(mode), prog, iprog, config,
+                             kUserTracedTextBase);
+
+      LinkOptions orig_opts;
+      orig_opts.text_base = kUserTextBase;
+      Executable orig_exe = Link({userlib, prog}, orig_opts);
+      LinkOptions traced_opts;
+      traced_opts.text_base = kUserTracedTextBase;
+      traced_opts.fixed_data_base = orig_exe.data_base;
+      Executable traced_exe = Link({ilib.object, iprog.object, support, abs}, traced_opts);
+      runner.AddImageTarget(w.name + "/" + ModeName(mode) + "/image", traced_exe);
+    }
+  }
+
+  // ---- Totals, wrlstats binding, JSON report ----
+  StatsRegistry registry;
+  VerifyReport total = runner.total();
+  total.RegisterStats(registry);
+  if (!quiet) {
+    printf("\n%zu targets: %llu blocks, %llu instructions, %llu memory ops, "
+           "%llu relocations — %llu errors, %llu warnings\n",
+           runner.targets().size(), static_cast<unsigned long long>(total.stats.blocks),
+           static_cast<unsigned long long>(total.stats.instructions),
+           static_cast<unsigned long long>(total.stats.mem_ops),
+           static_cast<unsigned long long>(total.stats.relocations),
+           static_cast<unsigned long long>(total.stats.errors),
+           static_cast<unsigned long long>(total.stats.warnings));
+  }
+  if (!json_path.empty()) {
+    WriteJsonReport(json_path, runner, registry);
+  }
+  return total.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    fprintf(stderr, "wrlverify: %s\n", e.what());
+    return 2;
+  }
+}
