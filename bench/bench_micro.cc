@@ -1,10 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives of the tracing
 // toolchain: assembly, instrumentation, trace parsing, and the simulators.
+//
+// Like every other bench, --json=PATH (or WRL_JSON) writes a wrlstats/1
+// metrics report: micro.<benchmark>.real_ns / .cpu_ns per benchmark, plus
+// .items_per_second where the bench reports throughput — the BENCH_*.json
+// perf-trajectory record wrlbench_diff consumes.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "asm/assembler.h"
+#include "bench/bench_util.h"
 #include "epoxie/epoxie.h"
 #include "harness/bare_runtime.h"
 #include "harness/replay_engine.h"
@@ -219,7 +228,74 @@ void BM_TlbSim(benchmark::State& state) {
 }
 BENCHMARK(BM_TlbSim);
 
+// Console output as usual, but every finished run is also captured so the
+// --json report can be emitted afterwards.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      runs_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
 }  // namespace wrl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = wrl::BenchJsonPath(argc, argv);
+  // Strip the wrl-side flags before google-benchmark sees (and rejects)
+  // them; everything else passes through to benchmark::Initialize.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      ++i;
+    } else if (arg.rfind("--json=", 0) != 0) {
+      args.push_back(argv[i]);
+    }
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) {
+    return 1;
+  }
+  wrl::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    std::map<std::string, double> metrics;
+    for (const auto& run : reporter.runs()) {
+      if (run.error_occurred) {
+        continue;
+      }
+      std::string name = run.benchmark_name();
+      for (char& c : name) {
+        if (c == '/' || c == ':') {
+          c = '_';
+        }
+      }
+      metrics["micro." + name + ".real_ns"] = run.GetAdjustedRealTime();
+      metrics["micro." + name + ".cpu_ns"] = run.GetAdjustedCPUTime();
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        metrics["micro." + name + ".items_per_second"] = items->second;
+      }
+    }
+    try {
+      wrl::WriteMetricsReport(json_path, "bench_micro", metrics, {});
+    } catch (const wrl::Error& e) {
+      fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    fprintf(stderr, "wrote metrics report to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -56,6 +57,21 @@ inline unsigned BenchJobs(int argc, char** argv) {
   return jobs < 1 ? 1u : static_cast<unsigned>(jobs);
 }
 
+// Live progress heartbeat: --progress or WRL_PROGRESS env (default off).
+// The heartbeat writes only to stderr, so reports are unaffected.
+inline bool BenchProgress(int argc, char** argv) {
+  bool progress = false;
+  if (const char* env = std::getenv("WRL_PROGRESS")) {
+    progress = std::strcmp(env, "0") != 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    }
+  }
+  return progress;
+}
+
 // Report destination: --json=PATH, --json PATH, or WRL_JSON env.  Empty
 // when no machine-readable report was requested.
 inline std::string BenchJsonPath(int argc, char** argv) {
@@ -84,7 +100,20 @@ inline std::vector<ExperimentResult> RunPersonalitySuite(Personality personality
   options.events = events;
   const std::vector<WorkloadSpec> workloads = PaperWorkloads(scale);
   std::vector<ExperimentResult> results;
+  bool progress = options.progress;
+  if (const char* env = std::getenv("WRL_PROGRESS")) {
+    progress = progress || std::strcmp(env, "0") != 0;
+  }
   if (jobs <= 1) {
+    if (progress) {
+      // Route through RunSuite so the heartbeat's monitor thread runs even
+      // for serial suites.
+      results = RunSuite(workloads, options);
+      for (const ExperimentResult& r : results) {
+        PrintResultWarnings(r, stderr);
+      }
+      return results;
+    }
     for (const WorkloadSpec& w : workloads) {
       fprintf(stderr, "  running %-9s (%s)...\n", w.name.c_str(),
               personality == Personality::kUltrix ? "ultrix" : "mach");

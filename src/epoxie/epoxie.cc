@@ -397,6 +397,10 @@ class Instrumenter {
           InstrumentPlain(i);
         }
       }
+      if (traced) {
+        result_.blocks.back().instr_words =
+            static_cast<uint32_t>(out_.size()) - header_pos;
+      }
       ++block_index;
     }
     target_new_pos_[n_words_] = static_cast<uint32_t>(out_.size());

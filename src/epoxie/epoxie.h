@@ -76,6 +76,10 @@ struct BlockStatic {
   uint32_t orig_offset = 0;  // Original-text offset of the block leader.
   uint32_t num_insts = 0;    // Instructions in the original block.
   uint32_t flags = 0;        // BlockFlags (idle markers, hand-traced, ...).
+  // Total instrumented words the block became (header + rewritten body),
+  // so per-block text dilation — and the epoxie-inserted instructions a
+  // profiler charges back to the block — is exact, not modeled.
+  uint32_t instr_words = 0;
   std::vector<MemOpStatic> mem_ops;
 };
 

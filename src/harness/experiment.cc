@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "harness/replay_engine.h"
@@ -31,6 +36,90 @@ class BorrowedSink : public RefBatchSink {
 
  private:
   RefBatchSink* target_;
+};
+
+// Live progress heartbeat (stderr only, so reports are untouched): a
+// monitor thread prints workloads done, aggregate parse throughput, the
+// suite-so-far sim.mips, and a naive ETA every interval.  Workers feed it
+// through atomics; enabled by ExperimentOptions::progress or WRL_PROGRESS=1.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, size_t total, uint32_t interval_ms) : total_(total) {
+    const char* env = std::getenv("WRL_PROGRESS");
+    enabled_ = (enabled || (env != nullptr && std::strcmp(env, "0") != 0)) && total_ > 0;
+    if (!enabled_) {
+      return;
+    }
+    start_us_ = WallNowUs();
+    monitor_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms == 0 ? 1000 : interval_ms));
+        if (stop_) {
+          break;
+        }
+        Emit();
+      }
+    });
+  }
+
+  ~ProgressMeter() {
+    if (!monitor_.joinable()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    monitor_.join();
+    Emit();  // Final line, so even sub-interval suites report once.
+  }
+
+  void OnDone(const ExperimentResult& result) {
+    if (!enabled_) {
+      return;
+    }
+    done_.fetch_add(1);
+    if (result.stats.Has("parser.refs")) {
+      refs_.fetch_add(result.stats.CounterValue("parser.refs"));
+    }
+    sim_insts_.fetch_add(result.simulated_instructions);
+    run_wall_us_.fetch_add(result.run_wall_us);
+  }
+
+ private:
+  void Emit() const {
+    uint64_t done = done_.load();
+    uint64_t elapsed_us = WallNowUs() - start_us_;
+    double elapsed_s = static_cast<double>(elapsed_us) * 1e-6;
+    double mrefs =
+        elapsed_s > 0 ? static_cast<double>(refs_.load()) / elapsed_s / 1e6 : 0.0;
+    uint64_t wall = run_wall_us_.load();
+    double mips =
+        wall > 0 ? static_cast<double>(sim_insts_.load()) / static_cast<double>(wall) : 0.0;
+    char eta[32];
+    if (done == 0 || done >= total_) {
+      std::snprintf(eta, sizeof eta, "--");
+    } else {
+      double eta_s = elapsed_s * static_cast<double>(total_ - done) / static_cast<double>(done);
+      std::snprintf(eta, sizeof eta, "%.0fs", eta_s);
+    }
+    std::fprintf(stderr, "[wrl] %llu/%zu workloads | %.1f Mrefs/s | sim %.1f mips | eta %s\n",
+                 static_cast<unsigned long long>(done), total_, mrefs, mips, eta);
+  }
+
+  size_t total_;
+  bool enabled_ = false;
+  uint64_t start_us_ = 0;
+  std::atomic<uint64_t> done_{0};
+  std::atomic<uint64_t> refs_{0};
+  std::atomic<uint64_t> sim_insts_{0};
+  std::atomic<uint64_t> run_wall_us_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread monitor_;
 };
 
 SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& options,
@@ -154,6 +243,11 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   std::unique_ptr<TraceParser> parser;
   TraceLog trace_log;
   std::unique_ptr<ReplayEngine> engine;
+  std::unique_ptr<TraceProfiler> profiler;
+  std::unique_ptr<TeeBatchSink> tee;
+  if (options.profile) {
+    profiler = std::make_unique<TraceProfiler>(options.profile_options);
+  }
   PredictorConfig pconfig;
   pconfig.dilation = options.dilation;
   // Page mapping (paper §4.2): the simulator implements the policy.  Under
@@ -177,6 +271,21 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       traced = BuildSystem(MakeConfig(workload, options, true, events));
     }
 
+    if (profiler != nullptr) {
+      // Same tables the parser resolves keys against; symbols from the
+      // original images (the address space the reconstructed refs live in).
+      profiler->AddTable(kKernelPid, &traced->kernel_table());
+      profiler->AddTable(1, &traced->user_table());
+      profiler->AddSymbols(kKernelPid, traced->kernel_orig());
+      profiler->AddSymbols(1, measured->workload_orig());
+      profiler->SetSpaceName(1, workload.name);
+      if (options.personality == Personality::kMach) {
+        profiler->AddTable(2, &traced->server_table());
+        profiler->AddSymbols(2, traced->server_orig());
+        profiler->SetSpaceName(2, "server");
+      }
+    }
+
     if (capture) {
       traced->SetTraceSink(
           [&trace_log](const uint32_t* words, size_t count) { trace_log.Append(words, count); });
@@ -188,7 +297,18 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       }
       parser->SetInitialContext(kKernelPid);
       if (options.batch) {
-        parser->SetBatchSink(&simulator);
+        if (profiler != nullptr) {
+          tee = std::make_unique<TeeBatchSink>(
+              std::vector<RefBatchSink*>{&simulator, profiler.get()});
+          parser->SetBatchSink(tee.get());
+        } else {
+          parser->SetBatchSink(&simulator);
+        }
+      } else if (profiler != nullptr) {
+        parser->SetRefSink([&simulator, prof = profiler.get()](const TraceRef& ref) {
+          simulator.OnRef(ref);
+          prof->OnRef(ref);
+        });
       } else {
         parser->SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
       }
@@ -225,6 +345,15 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       configs.push_back({"primary", [&simulator] {
                            return std::make_unique<BorrowedSink>(&simulator);
                          }});
+      if (profiler != nullptr) {
+        // The profiler rides the fan-out as one more cheap replay of the
+        // materialized stream — appended first so variant harvesting below
+        // can skip it by name-independent position.
+        configs.push_back({"profile", [prof = profiler.get()] {
+                             return std::make_unique<BorrowedSink>(prof);
+                           }});
+      }
+      const size_t variant_begin = profiler != nullptr ? 2 : 1;
       for (const ReplayVariant& variant : options.replay_variants) {
         PredictorConfig vconfig = pconfig;
         vconfig.memsys = variant.memsys;
@@ -245,7 +374,7 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       {
         EventRecorder::Scope scope(events, "replay:" + workload.name, "analysis");
         std::vector<ReplayEngine::Outcome> outcomes = engine->Run(configs, ropts);
-        for (size_t i = 1; i < outcomes.size(); ++i) {
+        for (size_t i = variant_begin; i < outcomes.size(); ++i) {
           auto* sim = static_cast<TraceDrivenSimulator*>(outcomes[i].sink.get());
           ReplayVariantResult vr;
           vr.name = outcomes[i].name;
@@ -264,6 +393,9 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     } else {
       parser->Finish();
       result.parser_errors = parser->stats().validation_errors;
+    }
+    if (profiler != nullptr) {
+      result.profile = profiler->Finish();
     }
     result.prediction = simulator.Finish();
     result.traced_machine_instructions = traced->machine().instructions();
@@ -323,11 +455,13 @@ std::vector<ExperimentResult> RunSuite(const std::vector<WorkloadSpec>& workload
   unsigned jobs = options.jobs == 0 ? 1 : options.jobs;
   jobs = static_cast<unsigned>(
       std::min<size_t>(jobs, workloads.empty() ? size_t{1} : workloads.size()));
+  ProgressMeter progress(options.progress, workloads.size(), options.progress_interval_ms);
   if (jobs <= 1) {
     std::vector<ExperimentResult> results;
     results.reserve(workloads.size());
     for (const WorkloadSpec& w : workloads) {
       results.push_back(RunExperiment(w, options));
+      progress.OnDone(results.back());
     }
     return results;
   }
@@ -349,6 +483,7 @@ std::vector<ExperimentResult> RunSuite(const std::vector<WorkloadSpec>& workload
       for (size_t i = next.fetch_add(1); i < workloads.size(); i = next.fetch_add(1)) {
         try {
           results[i] = RunExperiment(workloads[i], worker_options);
+          progress.OnDone(results[i]);
         } catch (...) {
           errors[i] = std::current_exception();
         }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "kernel/system_build.h"
+#include "prof/prof.h"
 #include "sim/predictor.h"
 #include "stats/events.h"
 #include "stats/stats.h"
@@ -77,6 +78,18 @@ struct ExperimentOptions {
   // cheap replay, not another traced machine run).  Replays run serially
   // inside the experiment — RunSuite already parallelizes across workloads.
   std::vector<ReplayVariant> replay_variants;
+  // Attribution profiling (src/prof): tee the reconstructed reference
+  // stream into a TraceProfiler — live behind the parser, or as one more
+  // replay config in capture mode — and return the finished Profile in
+  // ExperimentResult::profile.  Bit-identical in every mode.
+  bool profile = false;
+  ProfileOptions profile_options;
+  // Live progress heartbeat: RunSuite emits periodic stderr lines
+  // (workloads done, refs/sec, sim.mips, ETA).  WRL_PROGRESS=1 in the
+  // environment forces it on.  Reports are unaffected — the heartbeat
+  // writes only to stderr.
+  bool progress = false;
+  uint32_t progress_interval_ms = 2000;
 };
 
 struct ExperimentResult {
@@ -112,6 +125,9 @@ struct ExperimentResult {
   uint64_t trace_log_bytes = 0;       // Stored (packed) bytes.
   double trace_compression = 0;       // raw_bytes / stored_bytes.
   double replay_mrefs_per_sec = 0;    // Fan-out throughput of the replays.
+
+  // The attribution profile (empty unless ExperimentOptions::profile).
+  Profile profile;
 
   // Full registry snapshot across both runs: `measured.*` and `traced.*`
   // system counters, `parser.*`, and `predicted.*` analysis counters.

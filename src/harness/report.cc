@@ -163,6 +163,11 @@ void WriteExperiment(JsonWriter& writer, const ExperimentResult& r,
     writer.EndArray();
   }
 
+  if (r.profile.totals.refs > 0) {
+    writer.Key("profile");
+    r.profile.WriteJson(writer, options.profile_top);
+  }
+
   writer.Key("counters");
   r.stats.WriteJson(writer);
 

@@ -524,6 +524,7 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
   kopts.fixed_data_base = kKernelDataBase;
   kopts.entry_symbol = "_start";
   Executable kernel_orig = Link({kernel_obj, support}, kopts);
+  sys.kernel_orig_ = kernel_orig;
 
   if (config.tracing) {
     EpoxieConfig econfig;
@@ -554,6 +555,7 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
   BuiltProgram server;
   if (mach) {
     server = BuildUserProgram("server", ServerAsm(), config.tracing);
+    sys.server_orig_ = server.orig;
     sys.server_exe_ = config.tracing ? server.traced : server.orig;
     sys.server_table_ = std::move(server.table);
     sys.server_text_growth_ = server.text_growth;

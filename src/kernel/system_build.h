@@ -67,7 +67,12 @@ class SystemInstance {
 
   Machine& machine() { return *machine_; }
   const Executable& kernel_exe() const { return kernel_exe_; }
+  // Original (uninstrumented) images — the address space the reconstructed
+  // trace refers to; symbolization sources for the profiler.  For untraced
+  // systems kernel_orig == kernel_exe and server_orig == server_exe.
+  const Executable& kernel_orig() const { return kernel_orig_; }
   const Executable& workload_orig() const { return workload_orig_; }
+  const Executable& server_orig() const { return server_orig_; }
   // Runs to halt; services trace drains along the way for traced systems.
   RunResult Run(uint64_t max_instructions);
 
@@ -127,9 +132,11 @@ class SystemInstance {
   SystemConfig config_;
   std::unique_ptr<Machine> machine_;
   Executable kernel_exe_;
+  Executable kernel_orig_;
   Executable workload_orig_;
   Executable workload_exe_;  // The one actually mapped (orig or traced).
   Executable server_exe_;
+  Executable server_orig_;
   TraceInfoTable kernel_table_;
   TraceInfoTable user_table_;    // Workload (pid 1).
   TraceInfoTable server_table_;  // Server (pid 2, Mach only).

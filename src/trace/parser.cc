@@ -19,6 +19,7 @@ void TraceInfoTable::AddObject(const std::vector<BlockStatic>& blocks,
     info.orig_addr = original_text_base + b.orig_offset;
     info.num_insts = b.num_insts;
     info.flags = b.flags;
+    info.instr_words = b.instr_words;
     info.mem_ops = b.mem_ops;
     Add(instrumented_text_base + b.key_offset, std::move(info));
   }

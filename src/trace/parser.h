@@ -46,6 +46,10 @@ struct TraceBlockInfo {
   uint32_t num_insts = 0;
   uint32_t flags = 0;
   std::vector<MemOpStatic> mem_ops;
+  // Instrumented words the block occupies (0 when the producer does not
+  // know); lets consumers charge epoxie's inserted instructions back to
+  // the block exactly.
+  uint32_t instr_words = 0;
 };
 
 // The per-address-space lookup table ("static information about the binary
@@ -59,6 +63,9 @@ class TraceInfoTable {
                  uint32_t original_text_base);
   const TraceBlockInfo* Find(uint32_t key_addr) const;
   size_t size() const { return blocks_.size(); }
+  // Full table, for consumers (e.g. the profiler) that index blocks by
+  // original leader address rather than by key.
+  const std::unordered_map<uint32_t, TraceBlockInfo>& blocks() const { return blocks_; }
 
  private:
   std::unordered_map<uint32_t, TraceBlockInfo> blocks_;
@@ -108,6 +115,22 @@ class RefFnSink : public RefBatchSink {
 
  private:
   std::function<void(const TraceRef&)> fn_;
+};
+
+// Fans one batch stream out to several consumers (e.g. a cache simulator
+// plus a profiler on the same live run).  Delivery order is the sink order
+// given at construction; each sink sees the identical batches.
+class TeeBatchSink : public RefBatchSink {
+ public:
+  explicit TeeBatchSink(std::vector<RefBatchSink*> sinks) : sinks_(std::move(sinks)) {}
+  void OnRefBatch(const TraceRef* refs, size_t count) override {
+    for (RefBatchSink* sink : sinks_) {
+      sink->OnRefBatch(refs, count);
+    }
+  }
+
+ private:
+  std::vector<RefBatchSink*> sinks_;
 };
 
 // Batched delivery is the default; WRL_BATCH=0 forces every harness onto

@@ -18,9 +18,9 @@ constexpr uint32_t kKeyC = 0x10000080;  // 4 instrs, store@0, load@2.
 
 TraceInfoTable MakeTable() {
   TraceInfoTable table;
-  table.Add(kKeyA, {0x00400000, 2, 0, {}});
-  table.Add(kKeyB, {0x00400100, 3, 0, {{1, false, 4}}});
-  table.Add(kKeyC, {0x00400200, 4, 0, {{0, true, 4}, {2, false, 1}}});
+  table.Add(kKeyA, {0x00400000, 2, 0, {}, 0});
+  table.Add(kKeyB, {0x00400100, 3, 0, {{1, false, 4}}, 0});
+  table.Add(kKeyC, {0x00400200, 4, 0, {{0, true, 4}, {2, false, 1}}, 0});
   return table;
 }
 

@@ -20,13 +20,13 @@ constexpr uint32_t kKeyKB = 0x100001c0;    // Kernel block, 3 instrs, load@1.
 
 TraceInfoTable MakeTable() {
   TraceInfoTable table;
-  table.Add(kKeyA, {0x00400000, 2, 0, {}});
-  table.Add(kKeyB, {0x00400100, 3, 0, {{1, false, 4}}});
-  table.Add(kKeyC, {0x00400200, 4, 0, {{0, true, 4}, {2, false, 1}}});
-  table.Add(kKeyIdle, {0x80002000, 2, kBlockIdleStart, {}});
-  table.Add(kKeyStop, {0x80002100, 1, kBlockIdleStop, {}});
-  table.Add(kKeyKA, {0x80003000, 2, 0, {}});
-  table.Add(kKeyKB, {0x80003100, 3, 0, {{1, false, 4}}});
+  table.Add(kKeyA, {0x00400000, 2, 0, {}, 0});
+  table.Add(kKeyB, {0x00400100, 3, 0, {{1, false, 4}}, 0});
+  table.Add(kKeyC, {0x00400200, 4, 0, {{0, true, 4}, {2, false, 1}}, 0});
+  table.Add(kKeyIdle, {0x80002000, 2, kBlockIdleStart, {}, 0});
+  table.Add(kKeyStop, {0x80002100, 1, kBlockIdleStop, {}, 0});
+  table.Add(kKeyKA, {0x80003000, 2, 0, {}, 0});
+  table.Add(kKeyKB, {0x80003100, 3, 0, {{1, false, 4}}, 0});
   return table;
 }
 
@@ -191,7 +191,7 @@ TEST(TraceParser, TruncatedMarkerFlaggedAtFinish) {
 
 TEST(TraceParser, KernelFetchOutsideKernelSpaceFlagged) {
   TraceInfoTable table;
-  table.Add(0x80001000, {0x00400000, 1, 0, {}});  // Kernel block at a user address.
+  table.Add(0x80001000, {0x00400000, 1, 0, {}, 0});  // Kernel block at a user address.
   Collected c = Parse(table, {0x80001000}, kKernelPid, &table);
   EXPECT_GE(c.stats.validation_errors, 1u);
 }
@@ -225,8 +225,8 @@ TEST(TraceParser, IncrementalFeedMatchesBatch) {
 
 TEST(TraceInfoTable, DuplicateKeyRejected) {
   TraceInfoTable table;
-  table.Add(0x1000, {0x00400000, 1, 0, {}});
-  EXPECT_THROW(table.Add(0x1000, {0x00400100, 1, 0, {}}), InternalError);
+  table.Add(0x1000, {0x00400000, 1, 0, {}, 0});
+  EXPECT_THROW(table.Add(0x1000, {0x00400100, 1, 0, {}, 0}), InternalError);
 }
 
 }  // namespace

@@ -205,8 +205,8 @@ spin:   b    spin
 // Same agreement check for the trace parser over a synthetic stream.
 TEST(StatsIntegration, ParserStatsAgreeWithSnapshot) {
   TraceInfoTable table;
-  table.Add(0x10000010, {0x00400000, 2, 0, {}});
-  table.Add(0x10000040, {0x00400100, 3, 0, {{1, false, 4}}});
+  table.Add(0x10000010, {0x00400000, 2, 0, {}, 0});
+  table.Add(0x10000040, {0x00400100, 3, 0, {{1, false, 4}}, 0});
 
   TraceParser parser(&table);
   parser.SetUserTable(1, &table);
