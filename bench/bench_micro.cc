@@ -20,6 +20,7 @@
 #include "memsys/memsys.h"
 #include "sim/tlb_sim.h"
 #include "support/rng.h"
+#include "trace/chunk_ring.h"
 #include "trace/parser.h"
 #include "trace/trace_log.h"
 #include "verify/verify.h"
@@ -211,6 +212,56 @@ void BM_ReplayBatched(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(delivered));
 }
 BENCHMARK(BM_ReplayBatched);
+
+// The pipelined trace transport end to end: a real trace pushed through the
+// SPSC ring in drain-sized chunks while the consumer thread runs the parser.
+// Items are trace words, so this tracks the transport's sustainable drain
+// bandwidth (ring copy + handoff + parse), the quantity that bounds how far
+// the traced machine can outrun the analysis.
+void BM_PipelineDrain(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  BareTraceRun run = RunBareTraced(build);
+  const std::vector<uint32_t>& words = run.trace_words;
+  constexpr size_t kChunkWords = 2048;
+  uint64_t pushed = 0;
+  for (auto _ : state) {
+    TraceParser parser(&build.table);
+    parser.SetInitialContext(kKernelPid);
+    TracePipeline pipeline([&parser](const uint32_t* w, size_t n) { parser.Feed(w, n); });
+    for (size_t off = 0; off < words.size(); off += kChunkWords) {
+      size_t count = std::min(kChunkWords, words.size() - off);
+      pipeline.Produce(words.data() + off, count);
+    }
+    pipeline.Finish();
+    parser.Finish();
+    pushed += words.size();
+    benchmark::DoNotOptimize(parser.stats().refs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pushed));
+}
+BENCHMARK(BM_PipelineDrain);
+
+// Raw TraceLog unpack throughput: varint+delta decode of a packed multi-chunk
+// capture into trace words, the per-chunk work the parallel decoder fans out.
+void BM_TraceLogDecode(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  BareTraceRun run = RunBareTraced(build);
+  TraceLog log;
+  constexpr size_t kChunkWords = 2048;
+  for (size_t off = 0; off < run.trace_words.size(); off += kChunkWords) {
+    size_t count = std::min(kChunkWords, run.trace_words.size() - off);
+    log.Append(run.trace_words.data() + off, count);
+  }
+  uint64_t decoded = 0;
+  for (auto _ : state) {
+    uint64_t words = 0;
+    log.Replay([&](const uint32_t*, size_t n) { words += n; });
+    decoded += words;
+    benchmark::DoNotOptimize(words);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(decoded));
+}
+BENCHMARK(BM_TraceLogDecode);
 
 void BM_TlbSim(benchmark::State& state) {
   TlbSimulator tlb;

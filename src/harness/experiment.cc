@@ -260,6 +260,16 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     pconfig.page_map = measured->PageMap();
   }
   TraceDrivenSimulator simulator(pconfig);
+  // Pipelined transport state.  Declared after every component the consumer
+  // thread touches (parser, simulator, profiler, tee, trace_log), so stack
+  // unwinding joins the consumer before any of them is destroyed.
+  // In pipelined live mode the parser runs on the consumer thread, so it
+  // records its Feed phases into a private recorder (no cycle source — the
+  // traced machine's cycle counter belongs to the producer thread) that is
+  // absorbed into the shared timeline after the pipeline drains.
+  std::unique_ptr<EventRecorder> consumer_events;
+  uint64_t consumer_epoch_us = 0;
+  std::unique_ptr<TracePipeline> pipeline;
   std::exception_ptr traced_exc;
   try {
     // Original binaries, for the pixie-style arithmetic-stall estimate.
@@ -286,9 +296,16 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       }
     }
 
+    // The chunk consumer: the TraceLog packer (capture mode) or the parser
+    // feeding the analysis chain (live mode).  Synchronously it runs inside
+    // each drain; pipelined it runs on the consumer thread while the
+    // machine simulates ahead.  Either way it sees the identical chunk
+    // sequence and boundaries, so every output is bit-identical.
+    std::function<void(const uint32_t*, size_t)> consume;
     if (capture) {
-      traced->SetTraceSink(
-          [&trace_log](const uint32_t* words, size_t count) { trace_log.Append(words, count); });
+      consume = [&trace_log](const uint32_t* words, size_t count) {
+        trace_log.Append(words, count);
+      };
     } else {
       parser = std::make_unique<TraceParser>(&traced->kernel_table());
       parser->SetUserTable(1, &traced->user_table());
@@ -312,9 +329,22 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       } else {
         parser->SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
       }
-      parser->SetEventRecorder(events);
-      traced->SetTraceSink(
-          [&parser](const uint32_t* words, size_t count) { parser->Feed(words, count); });
+      if (options.pipeline) {
+        consumer_events = std::make_unique<EventRecorder>();
+        consumer_epoch_us = events->ElapsedUs();
+        parser->SetEventRecorder(consumer_events.get());
+      } else {
+        parser->SetEventRecorder(events);
+      }
+      consume = [&parser](const uint32_t* words, size_t count) { parser->Feed(words, count); };
+    }
+    if (options.pipeline) {
+      pipeline = std::make_unique<TracePipeline>(std::move(consume), options.pipeline_depth);
+      traced->SetTraceSink([p = pipeline.get()](const uint32_t* words, size_t count) {
+        p->Produce(words, count);
+      });
+    } else {
+      traced->SetTraceSink(std::move(consume));
     }
 
     events->SetCycleSource([machine = &traced->machine()] { return machine->cycles(); });
@@ -328,6 +358,11 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     if (!tr.halted) {
       throw Error(StrFormat("traced run of '%s' did not halt (pc=0x%08x)", workload.name.c_str(),
                             traced->machine().pc()));
+    }
+    if (pipeline != nullptr) {
+      // Drain the ring and join the consumer; rethrows anything the
+      // parser/sink chain threw mid-stream.
+      pipeline->Finish();
     }
     if (capture) {
       // Parse the capture once; fan the batch stream out to the primary
@@ -370,6 +405,7 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       }
       ReplayEngine::Options ropts;
       ropts.batch = options.batch;
+      ropts.decode_workers = options.pipeline ? PipelineDecodeWorkers() : 1;
       ropts.events = events;
       {
         EventRecorder::Scope scope(events, "replay:" + workload.name, "analysis");
@@ -436,11 +472,19 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     parser->RegisterStats(registry, "parser.");
   }
   simulator.RegisterStats(registry, "predicted.");
+  if (pipeline != nullptr) {
+    pipeline->RegisterStats(registry, "trace.pipeline.");
+  }
   result.stats = registry.Snapshot();
   if (options.parallel_pair) {
     // Fold the helper thread's run.measured phase back into the shared
     // timeline at its true wall offset.
     events->Absorb(measured_events.TakeEvents(), measured_epoch_us, /*depth_offset=*/1);
+  }
+  if (consumer_events != nullptr) {
+    // Fold the consumer thread's parser phases back in at their true wall
+    // offset (nested under the experiment scope, like the measured half).
+    events->Absorb(consumer_events->TakeEvents(), consumer_epoch_us, /*depth_offset=*/1);
   }
   events->End();  // experiment:<name>
   events->SetCycleSource(nullptr);

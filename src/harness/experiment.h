@@ -16,6 +16,7 @@
 #include "sim/predictor.h"
 #include "stats/events.h"
 #include "stats/stats.h"
+#include "trace/chunk_ring.h"
 #include "trace/trace_log.h"
 #include "workloads/workloads.h"
 
@@ -69,6 +70,20 @@ struct ExperimentOptions {
   // the environment, or batch=false here, forces the per-ref std::function
   // path).  Every counter and predicted number is identical either way.
   bool batch = BatchRefsEnabled();
+  // Pipelined trace transport: drained chunks flow through a bounded SPSC
+  // ring to a consumer thread that runs the parser + analysis sink chain
+  // (live mode) or the TraceLog packer (capture mode), so the traced
+  // machine keeps simulating while each drain is consumed
+  // (simulate ∥ parse ∥ analyze).  On the replay side the same option
+  // enables chunk-parallel TraceLog decode.  Defaults to on when the host
+  // has more than one hardware thread; WRL_PIPELINE=0 forces the
+  // synchronous path and WRL_PIPELINE=1 forces the pipeline even on
+  // single-core hosts.  Every counter, trace word, profile, and report
+  // value is identical either way; the overlap itself is observable via
+  // the trace.pipeline.* metrics, which exist only on pipelined runs.
+  bool pipeline = PipelineEnabled();
+  // Ring capacity in chunks (one chunk = one trace-buffer drain).
+  size_t pipeline_depth = kDefaultPipelineDepth;
   // Capture-once / replay-many: capture the traced run's drained words into
   // a packed TraceLog and run the analysis as a post-run replay of the
   // capture instead of live during the traced run.  Bit-identical results;

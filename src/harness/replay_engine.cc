@@ -18,21 +18,49 @@ uint64_t WallNowUs() {
                                    .count());
 }
 
-// Materializes the parsed stream: the batch sink that just appends.
-class CollectSink : public RefBatchSink {
+// Materializes the parsed stream into fixed-size segments.  A growing
+// dense vector would copy every element O(log n) times and briefly hold
+// ~3x the stream during each reallocation; segments never move, and the
+// final dense stream is reserved exactly once from the parser's counters.
+class SegmentCollectSink : public RefBatchSink {
  public:
-  explicit CollectSink(std::vector<TraceRef>* out) : out_(out) {}
+  static constexpr size_t kSegmentRefs = size_t{1} << 19;
+
   void OnRefBatch(const TraceRef* refs, size_t count) override {
-    out_->insert(out_->end(), refs, refs + count);
+    while (count > 0) {
+      if (segments_.empty() || segments_.back().size() == kSegmentRefs) {
+        segments_.emplace_back();
+        segments_.back().reserve(kSegmentRefs);
+      }
+      std::vector<TraceRef>& segment = segments_.back();
+      size_t take = std::min(count, kSegmentRefs - segment.size());
+      segment.insert(segment.end(), refs, refs + take);
+      refs += take;
+      count -= take;
+      total_ += take;
+    }
+  }
+
+  uint64_t total() const { return total_; }
+
+  // Appends every segment to `out` (already reserved), freeing each
+  // segment as it drains so peak memory is stream + one segment.
+  void MoveInto(std::vector<TraceRef>& out) {
+    for (std::vector<TraceRef>& segment : segments_) {
+      out.insert(out.end(), segment.begin(), segment.end());
+      std::vector<TraceRef>().swap(segment);
+    }
+    segments_.clear();
   }
 
  private:
-  std::vector<TraceRef>* out_;
+  std::vector<std::vector<TraceRef>> segments_;
+  uint64_t total_ = 0;
 };
 
 }  // namespace
 
-void ReplayEngine::Parse() {
+void ReplayEngine::Parse(unsigned decode_workers) {
   if (parsed_) {
     return;
   }
@@ -43,14 +71,25 @@ void ReplayEngine::Parse() {
     parser.SetUserTable(pid, table);
   }
   parser.SetInitialContext(source_.initial_context);
-  refs_.reserve(source_.log->words());  // Lower bound: >= 1 ref per key word.
-  CollectSink collector(&refs_);
+  SegmentCollectSink collector;
   parser.SetBatchSink(&collector);
-  source_.log->Replay(
-      [&parser](const uint32_t* words, size_t count) { parser.Feed(words, count); });
+  auto feed = [&parser](const uint32_t* words, size_t count) { parser.Feed(words, count); };
+  if (decode_workers > 1) {
+    source_.log->ReplayParallel(decode_workers, feed);
+  } else {
+    source_.log->Replay(feed);
+  }
   parser.Finish();
   parser_stats_ = parser.stats();
   parser_errors_ = parser.errors();
+  // Exact-size materialization: the parser has already counted every
+  // reference it delivered (refs == ifetches + loads + stores), so the
+  // dense stream allocates once and never grows.
+  uint64_t total = parser_stats_.ifetches + parser_stats_.loads + parser_stats_.stores;
+  WRL_CHECK_MSG(total == collector.total(), "parser counters disagree with collected refs");
+  refs_.reserve(total);
+  collector.MoveInto(refs_);
+  materialized_bytes_ = refs_.size() * sizeof(TraceRef);
   parse_wall_us_ = WallNowUs() - wall0;
   parsed_ = true;
 }
@@ -61,7 +100,7 @@ std::vector<ReplayEngine::Outcome> ReplayEngine::Run(const std::vector<Config>& 
 
 std::vector<ReplayEngine::Outcome> ReplayEngine::Run(const std::vector<Config>& configs,
                                                      const Options& options) {
-  Parse();
+  Parse(options.decode_workers);
   std::vector<Outcome> outcomes(configs.size());
   std::vector<std::exception_ptr> errors(configs.size());
   uint64_t fanout_wall0 = WallNowUs();
@@ -147,6 +186,7 @@ std::vector<ReplayEngine::Outcome> ReplayEngine::Run(const std::vector<Config>& 
 
 void ReplayEngine::RegisterStats(StatsRegistry& registry, const std::string& prefix) {
   registry.AddGauge(prefix + "refs", [this] { return static_cast<double>(refs_.size()); });
+  registry.AddCounter(prefix + "materialized_bytes", &materialized_bytes_);
   registry.AddGauge(prefix + "parse_wall_us",
                     [this] { return static_cast<double>(parse_wall_us_); });
   registry.AddGauge(prefix + "configs", [this] { return static_cast<double>(configs_run_); });

@@ -49,8 +49,14 @@ class ReplayEngine {
   explicit ReplayEngine(ReplaySource source) : source_(std::move(source)) {}
 
   // Parses the log once and materializes the reference stream.  Idempotent;
-  // Run() calls it implicitly.
-  void Parse();
+  // Run() calls it implicitly.  `decode_workers` > 1 decodes the log's
+  // independently coded chunks on that many worker threads while the parser
+  // consumes them strictly in capture order (TraceLog::ReplayParallel) —
+  // the parse sees the identical word sequence either way.  The dense
+  // stream is reserved exactly once, from the parser's own ifetch+load+
+  // store counters, so materialization never grows by reallocation; its
+  // byte cost is exported as the `replay.materialized_bytes` metric.
+  void Parse(unsigned decode_workers = 1);
 
   const TraceParserStats& parser_stats() const { return parser_stats_; }
   const std::vector<std::string>& parser_errors() const { return parser_errors_; }
@@ -75,6 +81,9 @@ class ReplayEngine {
 
   struct Options {
     unsigned jobs = 1;
+    // Worker threads for the chunk-parallel TraceLog decode feeding the
+    // single parse (only the first Run/Parse pays this; 1 = serial).
+    unsigned decode_workers = 1;
     // false = per-ref delivery (the WRL_BATCH=0 compatibility/A-B path).
     bool batch = true;
     size_t batch_refs = kRefBatchCapacity;
@@ -107,6 +116,7 @@ class ReplayEngine {
   std::vector<TraceRef> refs_;
   TraceParserStats parser_stats_;
   std::vector<std::string> parser_errors_;
+  uint64_t materialized_bytes_ = 0;  // Dense-stream footprint of the capture.
   uint64_t parse_wall_us_ = 0;
   uint64_t last_run_refs_ = 0;
   uint64_t last_run_wall_us_ = 0;

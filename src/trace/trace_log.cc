@@ -1,5 +1,14 @@
 #include "trace/trace_log.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/error.h"
+
 namespace wrl {
 
 namespace {
@@ -37,18 +46,44 @@ inline uint64_t GetVarint(const uint8_t* data, size_t& pos) {
 
 void TraceLog::Append(const uint32_t* words, size_t count) {
   chunk_words_.push_back(count);
+  chunk_starts_.push_back(packed_ ? bytes_.size() : raw_.size());
   words_ += count;
   if (!packed_) {
     raw_.insert(raw_.end(), words, words + count);
     return;
   }
+  // Fresh predictors per chunk, so chunks decode independently (the
+  // chunk-parallel replay relies on this).
+  uint32_t prev[16] = {};
   for (size_t i = 0; i < count; ++i) {
     uint32_t word = words[i];
     unsigned bucket = Bucket(word);
     // Modular subtraction keeps the delta within int32 regardless of wrap.
-    int32_t delta = static_cast<int32_t>(word - prev_[bucket]);
-    prev_[bucket] = word;
+    int32_t delta = static_cast<int32_t>(word - prev[bucket]);
+    prev[bucket] = word;
     PutVarint(bytes_, (static_cast<uint64_t>(ZigZag(delta)) << 4) | bucket);
+  }
+}
+
+void TraceLog::DecodeChunk(size_t index, std::vector<uint32_t>& out) const {
+  WRL_CHECK_MSG(index < chunk_words_.size(), "TraceLog chunk index out of range");
+  uint64_t count = chunk_words_[index];
+  out.clear();
+  out.reserve(count);
+  if (!packed_) {
+    const uint32_t* begin = raw_.data() + chunk_starts_[index];
+    out.insert(out.end(), begin, begin + count);
+    return;
+  }
+  uint32_t prev[16] = {};
+  size_t pos = chunk_starts_[index];
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t coded = GetVarint(bytes_.data(), pos);
+    unsigned bucket = coded & 0xf;
+    uint32_t word =
+        prev[bucket] + static_cast<uint32_t>(UnZigZag(static_cast<uint32_t>(coded >> 4)));
+    prev[bucket] = word;
+    out.push_back(word);
   }
 }
 
@@ -61,21 +96,105 @@ void TraceLog::Replay(const std::function<void(const uint32_t*, size_t)>& sink) 
     }
     return;
   }
-  uint32_t prev[16] = {};
-  size_t pos = 0;
   std::vector<uint32_t> buffer;
-  for (uint64_t chunk : chunk_words_) {
-    buffer.clear();
-    buffer.reserve(chunk);
-    for (uint64_t i = 0; i < chunk; ++i) {
-      uint64_t coded = GetVarint(bytes_.data(), pos);
-      unsigned bucket = coded & 0xf;
-      uint32_t word = prev[bucket] + static_cast<uint32_t>(UnZigZag(
-                                         static_cast<uint32_t>(coded >> 4)));
-      prev[bucket] = word;
-      buffer.push_back(word);
-    }
+  for (size_t i = 0; i < chunk_words_.size(); ++i) {
+    DecodeChunk(i, buffer);
     sink(buffer.data(), buffer.size());
+  }
+}
+
+void TraceLog::ReplayParallel(
+    unsigned workers, const std::function<void(const uint32_t*, size_t)>& sink) const {
+  const size_t n = chunk_words_.size();
+  if (!packed_ || workers <= 1 || n <= 1) {
+    Replay(sink);
+    return;
+  }
+  workers = static_cast<unsigned>(std::min<size_t>(workers, n));
+  // In-flight bound: decoded-but-undelivered chunks never exceed the
+  // window, so peak memory is O(workers × chunk), not O(log).
+  const size_t window = static_cast<size_t>(workers) * 4;
+
+  std::mutex mutex;
+  std::condition_variable chunk_ready;   // Signals the delivery loop.
+  std::condition_variable window_open;   // Signals waiting decoders.
+  std::vector<std::vector<uint32_t>> decoded(n);
+  std::vector<uint8_t> ready(n, 0);      // Guarded by mutex.
+  size_t delivered = 0;                  // Guarded by mutex.
+  bool abandoned = false;                // Sink threw; decoders bail out.
+  std::atomic<size_t> next{0};
+  std::exception_ptr decode_error;       // First decoder failure (if any).
+
+  auto decode_worker = [&] {
+    std::vector<uint32_t> buffer;
+    try {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          window_open.wait(lock, [&] { return i < delivered + window || abandoned; });
+          if (abandoned) {
+            return;
+          }
+        }
+        DecodeChunk(i, buffer);
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          decoded[i] = std::move(buffer);
+          ready[i] = 1;
+        }
+        buffer = std::vector<uint32_t>();
+        chunk_ready.notify_all();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (decode_error == nullptr) {
+        decode_error = std::current_exception();
+      }
+      abandoned = true;
+      chunk_ready.notify_all();
+      window_open.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    pool.emplace_back(decode_worker);
+  }
+
+  // Strict in-order delivery on the calling thread: the sink (typically a
+  // stateful parser) sees exactly the Replay() sequence.
+  std::exception_ptr sink_error;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> chunk;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      chunk_ready.wait(lock, [&] { return ready[i] != 0 || abandoned; });
+      if (abandoned && ready[i] == 0) {
+        break;
+      }
+      chunk = std::move(decoded[i]);
+      delivered = i + 1;
+    }
+    window_open.notify_all();
+    try {
+      sink(chunk.data(), chunk.size());
+    } catch (...) {
+      sink_error = std::current_exception();
+      std::lock_guard<std::mutex> lock(mutex);
+      abandoned = true;
+      window_open.notify_all();
+      break;
+    }
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  if (sink_error != nullptr) {
+    std::rethrow_exception(sink_error);
+  }
+  if (decode_error != nullptr) {
+    std::rethrow_exception(decode_error);
   }
 }
 
@@ -92,10 +211,8 @@ void TraceLog::Clear() {
   bytes_.clear();
   raw_.clear();
   chunk_words_.clear();
+  chunk_starts_.clear();
   words_ = 0;
-  for (uint32_t& p : prev_) {
-    p = 0;
-  }
 }
 
 uint64_t TraceLog::stored_bytes() const {

@@ -15,6 +15,15 @@
 // and the achieved ratio is exported as a wrlstats metric rather than
 // assumed.  Packing is lossless: Replay() reproduces the captured words
 // bit-for-bit in the captured chunking.
+//
+// Chunks are *independently* delta-encoded: the per-bucket predictors
+// reset at every chunk boundary and each chunk's start offset in the
+// packed stream is recorded, so any chunk decodes without touching the
+// ones before it.  That costs a handful of full-width varints per chunk
+// (noise against the thousands of words a drain holds) and buys
+// chunk-parallel decode: ReplayParallel() fans the decode out to worker
+// threads while delivering chunks to the sink strictly in capture order —
+// the same sequence, boundaries, and words Replay() produces, just faster.
 #ifndef WRLTRACE_TRACE_TRACE_LOG_H_
 #define WRLTRACE_TRACE_TRACE_LOG_H_
 
@@ -41,6 +50,16 @@ class TraceLog {
 
   // Decodes the log, invoking `sink` once per captured chunk.
   void Replay(const std::function<void(const uint32_t*, size_t)>& sink) const;
+  // Chunk-parallel decode: up to `workers` threads decode chunks
+  // concurrently (each chunk is independently coded) while the calling
+  // thread invokes `sink` once per chunk in strict capture order — the
+  // identical delivery Replay() makes.  In-flight decoded chunks are
+  // bounded, so memory stays O(workers), not O(log).  workers <= 1, an
+  // unpacked log, or a single-chunk log all degrade to Replay().
+  void ReplayParallel(unsigned workers,
+                      const std::function<void(const uint32_t*, size_t)>& sink) const;
+  // Decodes one chunk (0-based capture order) into `out` (cleared first).
+  void DecodeChunk(size_t index, std::vector<uint32_t>& out) const;
   // The whole log as one flat word vector.
   std::vector<uint32_t> Words() const;
 
@@ -75,8 +94,10 @@ class TraceLog {
   std::vector<uint8_t> bytes_;     // Packed stream (packed_ == true).
   std::vector<uint32_t> raw_;      // Verbatim words (packed_ == false).
   std::vector<uint64_t> chunk_words_;  // Words per appended chunk.
+  // Start of each chunk: byte offset into bytes_ (packed) or word offset
+  // into raw_ (unpacked).  Chunks decode independently from here.
+  std::vector<uint64_t> chunk_starts_;
   uint64_t words_ = 0;
-  uint32_t prev_[16] = {};  // Per-nibble-bucket delta predictors.
 };
 
 }  // namespace wrl

@@ -10,6 +10,7 @@
 //   wrlbench_diff BASELINE.json CURRENT.json
 //       [--threshold PCT]     regression threshold, percent (default 10)
 //       [--metric NAME=PCT]   per-metric threshold override (repeatable)
+//       [--enforce NAME]      metric gates even under --advisory (repeatable)
 //       [--advisory]          report regressions but exit 0
 //       [--quiet]             print regressions and summary only
 //
@@ -18,12 +19,16 @@
 // Neutral metrics (no inferable direction) and metrics present in only one
 // report are listed but never gate.  Wall-clock metrics are inherently
 // noisy — pick thresholds accordingly; the default 10% suits the
-// deterministic counters, CI uses --advisory for the wall-clock ones.
+// deterministic counters, CI uses --advisory for the wall-clock ones and
+// --enforce for the handful of throughput floors that must hold even on
+// shared runners (an enforced metric missing from either report also
+// fails: a gate that silently evaporates is no gate).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -81,6 +86,7 @@ int Run(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold = 10.0;
   std::map<std::string, double> overrides;
+  std::set<std::string> enforced;
   bool advisory = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +101,8 @@ int Run(int argc, char** argv) {
         return 2;
       }
       overrides[spec.substr(0, eq)] = std::atof(spec.c_str() + eq + 1);
+    } else if (arg == "--enforce" && i + 1 < argc) {
+      enforced.insert(argv[++i]);
     } else if (arg == "--advisory") {
       advisory = true;
     } else if (arg == "--quiet") {
@@ -102,7 +110,8 @@ int Run(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       fprintf(stderr,
               "usage: wrlbench_diff BASELINE.json CURRENT.json [--threshold PCT]\n"
-              "                     [--metric NAME=PCT] [--advisory] [--quiet]\n");
+              "                     [--metric NAME=PCT] [--enforce NAME] [--advisory]\n"
+              "                     [--quiet]\n");
       return 2;
     } else {
       paths.push_back(arg);
@@ -118,6 +127,7 @@ int Run(int argc, char** argv) {
 
   size_t compared = 0;
   size_t regressions = 0;
+  size_t enforced_regressions = 0;
   size_t improvements = 0;
   size_t only_baseline = 0;
   size_t only_current = 0;
@@ -125,7 +135,10 @@ int Run(int argc, char** argv) {
     auto it = current.find(name);
     if (it == current.end()) {
       ++only_baseline;
-      if (!quiet) {
+      if (enforced.count(name) != 0) {
+        ++enforced_regressions;
+        printf("REGRESSION %-47s ENFORCED metric missing from current report\n", name.c_str());
+      } else if (!quiet) {
         printf("  %-56s baseline-only\n", name.c_str());
       }
       continue;
@@ -153,16 +166,20 @@ int Run(int argc, char** argv) {
       regressed = delta_pct < -limit;
       improved = delta_pct > limit;
     }
+    bool gate = enforced.count(name) != 0;
     if (regressed) {
       ++regressions;
-      printf("REGRESSION %-47s %14.6g -> %14.6g  (%+.1f%%, limit %.1f%%)\n", name.c_str(),
-             base_value, cur_value, delta_pct, limit);
-    } else if (!quiet) {
+      if (gate) {
+        ++enforced_regressions;
+      }
+      printf("REGRESSION %-47s %14.6g -> %14.6g  (%+.1f%%, limit %.1f%%)%s\n", name.c_str(),
+             base_value, cur_value, delta_pct, limit, gate ? "  ENFORCED" : "");
+    } else if (!quiet || gate) {
       const char* tag = improved ? "improved  " : (direction == Direction::kNeutral
                                                        ? "neutral   "
                                                        : "ok        ");
-      printf("%s %-47s %14.6g -> %14.6g  (%+.1f%%)\n", tag, name.c_str(), base_value,
-             cur_value, delta_pct);
+      printf("%s %-47s %14.6g -> %14.6g  (%+.1f%%)%s\n", tag, name.c_str(), base_value,
+             cur_value, delta_pct, gate ? "  ENFORCED" : "");
     }
     if (improved) {
       ++improvements;
@@ -178,11 +195,22 @@ int Run(int argc, char** argv) {
     }
   }
 
-  printf("%zu metrics compared: %zu regression(s), %zu improvement(s), "
+  // Enforced metrics must exist in the baseline too, or the gate is vacuous.
+  for (const std::string& name : enforced) {
+    if (baseline.find(name) == baseline.end()) {
+      ++enforced_regressions;
+      printf("REGRESSION %-47s ENFORCED metric missing from baseline report\n", name.c_str());
+    }
+  }
+  printf("%zu metrics compared: %zu regression(s) (%zu enforced), %zu improvement(s), "
          "%zu baseline-only, %zu current-only (threshold %.1f%%)\n",
-         compared, regressions, improvements, only_baseline, only_current, threshold);
-  if (regressions > 0 && advisory) {
+         compared, regressions, enforced_regressions, improvements, only_baseline, only_current,
+         threshold);
+  if (regressions > 0 && advisory && enforced_regressions == 0) {
     printf("advisory mode: regressions reported, exit 0\n");
+  }
+  if (enforced_regressions > 0) {
+    return 1;
   }
   return (regressions > 0 && !advisory) ? 1 : 0;
 }
