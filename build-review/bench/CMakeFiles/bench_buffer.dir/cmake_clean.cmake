@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer.dir/bench_buffer.cc.o"
+  "CMakeFiles/bench_buffer.dir/bench_buffer.cc.o.d"
+  "bench_buffer"
+  "bench_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

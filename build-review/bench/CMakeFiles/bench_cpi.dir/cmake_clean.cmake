@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpi.dir/bench_cpi.cc.o"
+  "CMakeFiles/bench_cpi.dir/bench_cpi.cc.o.d"
+  "bench_cpi"
+  "bench_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dilation.dir/bench_dilation.cc.o"
+  "CMakeFiles/bench_dilation.dir/bench_dilation.cc.o.d"
+  "bench_dilation"
+  "bench_dilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/harness/CMakeFiles/wrl_harness.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/wrl_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/verify/CMakeFiles/wrl_verify.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/prof/CMakeFiles/wrl_prof.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/wrl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/wrl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/wrl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/asm/CMakeFiles/wrl_asm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mach/CMakeFiles/wrl_mach.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/memsys/CMakeFiles/wrl_memsys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/epoxie/CMakeFiles/wrl_epoxie.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/wrl_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obj/CMakeFiles/wrl_obj.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/wrl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/wrl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_expansion.dir/bench_text_expansion.cc.o"
+  "CMakeFiles/bench_text_expansion.dir/bench_text_expansion.cc.o.d"
+  "bench_text_expansion"
+  "bench_text_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_trace.dir/system_trace.cpp.o"
+  "CMakeFiles/system_trace.dir/system_trace.cpp.o.d"
+  "system_trace"
+  "system_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_study.dir/tlb_study.cpp.o"
+  "CMakeFiles/tlb_study.dir/tlb_study.cpp.o.d"
+  "tlb_study"
+  "tlb_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("stats")
+subdirs("isa")
+subdirs("obj")
+subdirs("asm")
+subdirs("mach")
+subdirs("memsys")
+subdirs("epoxie")
+subdirs("verify")
+subdirs("trace")
+subdirs("kernel")
+subdirs("sim")
+subdirs("prof")
+subdirs("workloads")
+subdirs("harness")

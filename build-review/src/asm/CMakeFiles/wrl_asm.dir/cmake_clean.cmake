@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_asm.dir/assembler.cc.o"
+  "CMakeFiles/wrl_asm.dir/assembler.cc.o.d"
+  "libwrl_asm.a"
+  "libwrl_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

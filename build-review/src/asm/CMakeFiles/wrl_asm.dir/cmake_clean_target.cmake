@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwrl_asm.a"
+)

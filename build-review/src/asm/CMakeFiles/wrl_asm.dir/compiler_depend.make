@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wrl_asm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epoxie/epoxie.cc" "src/epoxie/CMakeFiles/wrl_epoxie.dir/epoxie.cc.o" "gcc" "src/epoxie/CMakeFiles/wrl_epoxie.dir/epoxie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obj/CMakeFiles/wrl_obj.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/wrl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/wrl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

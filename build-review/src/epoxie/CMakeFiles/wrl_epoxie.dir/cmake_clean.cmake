@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_epoxie.dir/epoxie.cc.o"
+  "CMakeFiles/wrl_epoxie.dir/epoxie.cc.o.d"
+  "libwrl_epoxie.a"
+  "libwrl_epoxie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_epoxie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_harness.dir/bare_runtime.cc.o"
+  "CMakeFiles/wrl_harness.dir/bare_runtime.cc.o.d"
+  "CMakeFiles/wrl_harness.dir/experiment.cc.o"
+  "CMakeFiles/wrl_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/wrl_harness.dir/replay_engine.cc.o"
+  "CMakeFiles/wrl_harness.dir/replay_engine.cc.o.d"
+  "CMakeFiles/wrl_harness.dir/report.cc.o"
+  "CMakeFiles/wrl_harness.dir/report.cc.o.d"
+  "libwrl_harness.a"
+  "libwrl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_isa.dir/isa.cc.o"
+  "CMakeFiles/wrl_isa.dir/isa.cc.o.d"
+  "libwrl_isa.a"
+  "libwrl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

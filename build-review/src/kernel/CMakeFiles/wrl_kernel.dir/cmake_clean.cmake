@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_kernel.dir/kernel_asm.cc.o"
+  "CMakeFiles/wrl_kernel.dir/kernel_asm.cc.o.d"
+  "CMakeFiles/wrl_kernel.dir/kernel_sys_asm.cc.o"
+  "CMakeFiles/wrl_kernel.dir/kernel_sys_asm.cc.o.d"
+  "CMakeFiles/wrl_kernel.dir/system_build.cc.o"
+  "CMakeFiles/wrl_kernel.dir/system_build.cc.o.d"
+  "libwrl_kernel.a"
+  "libwrl_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_mach.dir/devices.cc.o"
+  "CMakeFiles/wrl_mach.dir/devices.cc.o.d"
+  "CMakeFiles/wrl_mach.dir/machine.cc.o"
+  "CMakeFiles/wrl_mach.dir/machine.cc.o.d"
+  "CMakeFiles/wrl_mach.dir/tlb.cc.o"
+  "CMakeFiles/wrl_mach.dir/tlb.cc.o.d"
+  "libwrl_mach.a"
+  "libwrl_mach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_mach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_memsys.dir/memsys.cc.o"
+  "CMakeFiles/wrl_memsys.dir/memsys.cc.o.d"
+  "libwrl_memsys.a"
+  "libwrl_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

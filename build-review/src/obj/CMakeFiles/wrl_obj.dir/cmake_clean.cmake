@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_obj.dir/object_file.cc.o"
+  "CMakeFiles/wrl_obj.dir/object_file.cc.o.d"
+  "libwrl_obj.a"
+  "libwrl_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

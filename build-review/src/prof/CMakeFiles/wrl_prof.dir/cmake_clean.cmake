@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_prof.dir/prof.cc.o"
+  "CMakeFiles/wrl_prof.dir/prof.cc.o.d"
+  "libwrl_prof.a"
+  "libwrl_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_sim.dir/predictor.cc.o"
+  "CMakeFiles/wrl_sim.dir/predictor.cc.o.d"
+  "CMakeFiles/wrl_sim.dir/tlb_sim.cc.o"
+  "CMakeFiles/wrl_sim.dir/tlb_sim.cc.o.d"
+  "libwrl_sim.a"
+  "libwrl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_stats.dir/events.cc.o"
+  "CMakeFiles/wrl_stats.dir/events.cc.o.d"
+  "CMakeFiles/wrl_stats.dir/stats.cc.o"
+  "CMakeFiles/wrl_stats.dir/stats.cc.o.d"
+  "libwrl_stats.a"
+  "libwrl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

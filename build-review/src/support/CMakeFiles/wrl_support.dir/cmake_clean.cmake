@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_support.dir/error.cc.o"
+  "CMakeFiles/wrl_support.dir/error.cc.o.d"
+  "CMakeFiles/wrl_support.dir/json.cc.o"
+  "CMakeFiles/wrl_support.dir/json.cc.o.d"
+  "CMakeFiles/wrl_support.dir/strings.cc.o"
+  "CMakeFiles/wrl_support.dir/strings.cc.o.d"
+  "libwrl_support.a"
+  "libwrl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/chunk_ring.cc" "src/trace/CMakeFiles/wrl_trace.dir/chunk_ring.cc.o" "gcc" "src/trace/CMakeFiles/wrl_trace.dir/chunk_ring.cc.o.d"
+  "/root/repo/src/trace/parser.cc" "src/trace/CMakeFiles/wrl_trace.dir/parser.cc.o" "gcc" "src/trace/CMakeFiles/wrl_trace.dir/parser.cc.o.d"
+  "/root/repo/src/trace/support_asm.cc" "src/trace/CMakeFiles/wrl_trace.dir/support_asm.cc.o" "gcc" "src/trace/CMakeFiles/wrl_trace.dir/support_asm.cc.o.d"
+  "/root/repo/src/trace/trace_log.cc" "src/trace/CMakeFiles/wrl_trace.dir/trace_log.cc.o" "gcc" "src/trace/CMakeFiles/wrl_trace.dir/trace_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/epoxie/CMakeFiles/wrl_epoxie.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/isa/CMakeFiles/wrl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mach/CMakeFiles/wrl_mach.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/wrl_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/wrl_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obj/CMakeFiles/wrl_obj.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/memsys/CMakeFiles/wrl_memsys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

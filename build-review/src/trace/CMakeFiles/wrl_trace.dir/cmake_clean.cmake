@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_trace.dir/chunk_ring.cc.o"
+  "CMakeFiles/wrl_trace.dir/chunk_ring.cc.o.d"
+  "CMakeFiles/wrl_trace.dir/parser.cc.o"
+  "CMakeFiles/wrl_trace.dir/parser.cc.o.d"
+  "CMakeFiles/wrl_trace.dir/support_asm.cc.o"
+  "CMakeFiles/wrl_trace.dir/support_asm.cc.o.d"
+  "CMakeFiles/wrl_trace.dir/trace_log.cc.o"
+  "CMakeFiles/wrl_trace.dir/trace_log.cc.o.d"
+  "libwrl_trace.a"
+  "libwrl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

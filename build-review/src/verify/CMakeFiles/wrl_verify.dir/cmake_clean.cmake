@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_verify.dir/verify.cc.o"
+  "CMakeFiles/wrl_verify.dir/verify.cc.o.d"
+  "libwrl_verify.a"
+  "libwrl_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

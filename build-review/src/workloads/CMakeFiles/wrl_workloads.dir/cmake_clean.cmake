@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrl_workloads.dir/workloads.cc.o"
+  "CMakeFiles/wrl_workloads.dir/workloads.cc.o.d"
+  "libwrl_workloads.a"
+  "libwrl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

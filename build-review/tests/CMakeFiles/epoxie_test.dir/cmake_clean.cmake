@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoxie_test.dir/epoxie_test.cc.o"
+  "CMakeFiles/epoxie_test.dir/epoxie_test.cc.o.d"
+  "epoxie_test"
+  "epoxie_test.pdb"
+  "epoxie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoxie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

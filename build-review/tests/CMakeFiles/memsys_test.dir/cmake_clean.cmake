@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsys_test.dir/memsys_test.cc.o"
+  "CMakeFiles/memsys_test.dir/memsys_test.cc.o.d"
+  "memsys_test"
+  "memsys_test.pdb"
+  "memsys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

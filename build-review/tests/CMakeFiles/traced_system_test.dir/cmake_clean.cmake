@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traced_system_test.dir/traced_system_test.cc.o"
+  "CMakeFiles/traced_system_test.dir/traced_system_test.cc.o.d"
+  "traced_system_test"
+  "traced_system_test.pdb"
+  "traced_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traced_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

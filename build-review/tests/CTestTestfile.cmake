@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/json_test[1]_include.cmake")
+include("/root/repo/build-review/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-review/tests/isa_test[1]_include.cmake")
+include("/root/repo/build-review/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build-review/tests/linker_test[1]_include.cmake")
+include("/root/repo/build-review/tests/memsys_test[1]_include.cmake")
+include("/root/repo/build-review/tests/machine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/epoxie_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build-review/tests/traced_system_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parser_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parser_defense_test[1]_include.cmake")
+include("/root/repo/build-review/tests/replay_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fastpath_test[1]_include.cmake")
+include("/root/repo/build-review/tests/verify_test[1]_include.cmake")
+include("/root/repo/build-review/tests/prof_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pipeline_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrlbench_diff.dir/wrlbench_diff.cc.o"
+  "CMakeFiles/wrlbench_diff.dir/wrlbench_diff.cc.o.d"
+  "wrlbench_diff"
+  "wrlbench_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrlbench_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrlprof.dir/wrlprof.cc.o"
+  "CMakeFiles/wrlprof.dir/wrlprof.cc.o.d"
+  "wrlprof"
+  "wrlprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrlprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrlverify.dir/wrlverify.cc.o"
+  "CMakeFiles/wrlverify.dir/wrlverify.cc.o.d"
+  "wrlverify"
+  "wrlverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrlverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
