@@ -3,13 +3,16 @@
 // short-running and I/O-heavy ones (sed, compress) and the write-buffer-
 // bound one (liv) larger.
 //
-// The suite runs on the capture-once / replay-many pipeline: each workload's
-// traced machine run is captured into a packed TraceLog, and the primary
-// prediction plus a small memory-system sweep (half/quarter-size caches, a
-// slower memory, more wired TLB entries) are all cheap replays of that one
-// capture — four what-if configurations for the price of one traced run
-// each.  WRL_BATCH=0 forces per-ref delivery; every number is bit-identical
-// either way.
+// The suite runs on the capture-once / replay-many pipeline with the
+// single-pass sweep engine on top: each workload's traced machine run is
+// captured into a packed TraceLog, the primary prediction replays it, and
+// the what-if sweep (half/quarter-size caches, a slower memory, more wired
+// TLB entries) is priced with at most two extra passes — the geometry-only
+// variants (cache32k, cache16k) are absorbed by ONE forest-simulation sweep
+// pass with exact miss counts, and only the non-sweepable ones (slowmem,
+// wired16 — different penalties / TLB wiring change the effective stream)
+// still fan out to dedicated replays.  WRL_BATCH=0 forces per-ref delivery;
+// every miss count is bit-identical either way.
 #include <cmath>
 #include <cstdio>
 
@@ -61,6 +64,11 @@ int main(int argc, char** argv) {
   EventRecorder events;
   ExperimentOptions base;
   base.replay_variants = SweepVariants();
+  // Absorb the geometry-only variants into the single-pass sweep engine;
+  // slowmem and wired16 still replay (their penalties / wiring are not
+  // sweepable).  The sweep also exports the LRU TLB capacity curve.
+  base.sweep.enabled = true;
+  base.sweep.tlb_max_entries = 64;
   std::vector<ExperimentResult> results =
       RunPersonalitySuite(Personality::kUltrix, scale, &events, jobs, base);
   printf("%-10s %8s  (one '#' per half percent of |error|)\n", "workload", "error");
@@ -79,24 +87,35 @@ int main(int argc, char** argv) {
 
   // The replay sweep: predicted time for each what-if config, from the same
   // single capture as the primary prediction (one traced run per workload).
-  printf("\n=== What-if sweep (replays of the same capture; predicted seconds) ===\n");
+  printf("\n=== What-if sweep (one capture; '*' = priced by the sweep pass) ===\n");
   printf("%-10s %10s", "workload", "primary");
   for (const ReplayVariant& v : base.replay_variants) {
     printf(" %10s", v.name.c_str());
   }
   printf("\n");
   double mrefs_sum = 0;
+  double sweep_mrefs_sum = 0;
+  unsigned sweep_runs = 0;
   for (const ExperimentResult& r : results) {
     printf("%-10s %10.4f", r.workload.c_str(), r.PredictedSeconds(25e6));
     for (const ReplayVariantResult& v : r.replays) {
-      printf(" %10.4f", static_cast<double>(v.prediction.PredictedCycles()) / 25e6);
+      printf(" %9.4f%c", static_cast<double>(v.prediction.PredictedCycles()) / 25e6,
+             v.swept ? '*' : ' ');
     }
     printf("\n");
     mrefs_sum += r.replay_mrefs_per_sec;
+    if (r.sweep_ran && r.sweep_mrefs_per_sec > 0) {
+      sweep_mrefs_sum += r.sweep_mrefs_per_sec;
+      ++sweep_runs;
+    }
   }
   if (!results.empty()) {
     printf("\ncapture compression %.2fx (first workload), replay fan-out %.1f Mrefs/s (mean)\n",
            results.front().trace_compression, mrefs_sum / static_cast<double>(results.size()));
+  }
+  if (sweep_runs > 0) {
+    printf("sweep pass: %.0f Mrefs/s equivalent (mean; family points x refs / pass wall time)\n",
+           sweep_mrefs_sum / static_cast<double>(sweep_runs));
   }
   MaybeWriteRunReport(argc, argv, "bench_figure3", scale, results, &events);
   return 0;

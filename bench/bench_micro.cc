@@ -20,6 +20,7 @@
 #include "memsys/memsys.h"
 #include "sim/tlb_sim.h"
 #include "support/rng.h"
+#include "sweep/sweep.h"
 #include "trace/chunk_ring.h"
 #include "trace/parser.h"
 #include "trace/trace_log.h"
@@ -262,6 +263,60 @@ void BM_TraceLogDecode(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(decoded));
 }
 BENCHMARK(BM_TraceLogDecode);
+
+// The sweep engine's one pass over a realistic mixed stream, pricing an
+// 8-point I-cache family, an 8-point D-cache family, and a 64-entry TLB
+// curve at once.  Items are (refs × family points): the equivalent-replay
+// rate, directly comparable to BM_ReplayBatched's per-config items rate.
+void BM_SweepSim(benchmark::State& state) {
+  Rng rng(19);
+  std::vector<TraceRef> refs(4096);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    TraceRef r{};
+    r.kind = (i % 4 == 3) ? TraceRef::kLoad : TraceRef::kIfetch;
+    r.bytes = 4;
+    r.pid = 1;
+    r.addr = rng.Below(1u << 24);
+    refs[i] = r;
+  }
+  SweepConfig config;
+  config.icache.push_back({16, 4096, 512 * 1024});
+  config.dcache.push_back({4, 4096, 512 * 1024});
+  config.tlb_max_entries = 64;
+  uint64_t points = 0;
+  {
+    SweepEngine probe(config);
+    probe.OnRefBatch(refs.data(), refs.size());
+    points = probe.Finish().family_points;
+  }
+  for (auto _ : state) {
+    SweepEngine sweep(config);
+    sweep.OnRefBatch(refs.data(), refs.size());
+    benchmark::DoNotOptimize(sweep.Finish().icache.front().misses);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(refs.size() * points));
+}
+BENCHMARK(BM_SweepSim);
+
+// The Fenwick-tree stack-distance kernel alone, on a working set large
+// enough to exercise timestamp-window compaction.
+void BM_StackDistance(benchmark::State& state) {
+  Rng rng(29);
+  std::vector<uint64_t> keys(4096);
+  for (auto& key : keys) {
+    key = rng.Below(600);
+  }
+  StackDistanceProfiler profiler;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint64_t key : keys) {
+      sum += profiler.Access(key);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_StackDistance);
 
 void BM_TlbSim(benchmark::State& state) {
   TlbSimulator tlb;

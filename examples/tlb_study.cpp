@@ -1,21 +1,29 @@
 // A TLB study in the style the paper's traces enabled (its reference [9],
 // "A Simulation Based Study of TLB Performance"), rebuilt on the
-// capture-once / replay-many pipeline: the traced machine runs *once*,
-// its drained trace is captured into a packed TraceLog, and every analysis
-// configuration — the faithful 64-entry production model plus the size
-// sweep — is a cheap replay of that capture, fanned out across --jobs
-// workers.  A K-config sweep costs one traced run + K replays instead of
-// K traced runs.
+// single-pass sweep engine: the traced machine runs *once*, its drained
+// trace is captured into a packed TraceLog, and the whole configuration
+// family — every TLB capacity on the LRU curve plus an 8-point cache-size
+// family — is priced by ONE pass over the materialized stream
+// (Mattson-style stack distances for the TLB, Hill-&-Smith forest
+// simulation for the caches), next to the faithful 64-entry production
+// model.  A K-point sweep costs one traced run + one parse + one pass,
+// instead of the K replays the previous revision fanned out.
 //
 //   $ ./build/examples/tlb_study [--scale=S] [--jobs N] [--sweep-sizes=8,64,...]
-//                                [--json report.json]
+//                                [--check] [--json report.json]
+//
+// --check replays every cache family point through an independent
+// TraceDrivenSimulator and fails loudly unless the sweep's miss counts are
+// bit-identical — the exactness contract, verified on demand.
 //
 // With --json the run emits a wrlstats/1 report: the full counter-registry
 // snapshot of the traced and measured systems, the capture's compression
-// ratio, the replay fan-out throughput (replay.mrefs_per_sec) next to the
-// live-analysis bound it replaces, the sweep's miss curve, and the event
-// timeline (load the file in chrome://tracing or ui.perfetto.dev).
+// ratio, the replay/sweep throughput next to the live-analysis bound, the
+// TLB miss curves, the cache family, and the event timeline (load the file
+// in chrome://tracing or ui.perfetto.dev).
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <string>
@@ -25,10 +33,12 @@
 #include "bench/bench_util.h"
 #include "harness/replay_engine.h"
 #include "kernel/system_build.h"
+#include "sim/predictor.h"
 #include "sim/tlb_sim.h"
 #include "stats/events.h"
 #include "stats/stats.h"
 #include "support/json.h"
+#include "sweep/sweep.h"
 #include "trace/parser.h"
 #include "trace/trace_log.h"
 #include "workloads/workloads.h"
@@ -37,49 +47,12 @@ using namespace wrl;
 
 namespace {
 
-// A size-parameterized variant of the analysis TLB (the production one is
-// fixed at the hardware's 64 entries).  Consumes the replayed stream in
-// batches.
-class SweepTlb : public RefBatchSink {
- public:
-  explicit SweepTlb(unsigned entries) : entries_(entries), slots_(entries) {}
-
-  void OnRefBatch(const TraceRef* refs, size_t count) override {
-    for (size_t i = 0; i < count; ++i) {
-      OnRef(refs[i]);
-    }
-  }
-
-  void OnRef(const TraceRef& ref) {
-    if (ref.kind == TraceRef::kIfetch) {
-      ++count_;
-    }
-    if (ref.addr >= 0x80000000u) {
-      return;
-    }
-    uint32_t key = (ref.addr >> 12) << 8 | (ref.pid == kKernelPid ? last_asid_ : ref.pid);
-    if (ref.pid != kKernelPid) {
-      last_asid_ = ref.pid;
-    }
-    for (const uint32_t slot : slots_) {
-      if (slot == key) {
-        return;
-      }
-    }
-    ++misses_;
-    slots_[count_ % entries_] = key;
-  }
-
-  unsigned entries() const { return entries_; }
-  uint64_t misses() const { return misses_; }
-
- private:
-  unsigned entries_;
-  std::vector<uint32_t> slots_;
-  uint64_t count_ = 0;
-  uint64_t misses_ = 0;
-  uint8_t last_asid_ = 1;
-};
+// The 8-point cache-size family priced by the sweep (alongside the TLB
+// curve): 4 KB through 512 KB at the production line sizes.
+constexpr uint32_t kCacheFamilyMin = 4 * 1024;
+constexpr uint32_t kCacheFamilyMax = 512 * 1024;
+constexpr uint32_t kIcacheLine = 16;
+constexpr uint32_t kDcacheLine = 4;
 
 // --sweep-sizes=8,16,... (default: the classic curve).
 std::vector<unsigned> SweepSizes(int argc, char** argv) {
@@ -106,16 +79,28 @@ std::vector<unsigned> SweepSizes(int argc, char** argv) {
   return sizes;
 }
 
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = BenchJsonPath(argc, argv);
   unsigned jobs = BenchJobs(argc, argv);
   const double scale = BenchScaleOr(argc, argv, 0.15);
+  const bool check = HasFlag(argc, argv, "--check");
   const std::vector<unsigned> sizes = SweepSizes(argc, argv);
+  const unsigned max_entries =
+      sizes.empty() ? 64u : *std::max_element(sizes.begin(), sizes.end());
   WorkloadSpec w = PaperWorkload("eqntott", scale);  // The TLB-hostile one.
-  printf("collecting the system trace of %s (one traced run, %zu replay configs)...\n",
-         w.name.c_str(), sizes.size() + 1);
+  printf("collecting the system trace of %s (one traced run, one sweep pass)...\n",
+         w.name.c_str());
 
   EventRecorder events;
   SystemConfig config;
@@ -182,8 +167,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Replay many: one parse of the capture, then the production model and
-  // every sweep size consume the same materialized stream in parallel.
+  // One parse of the capture, then exactly two consumers of the same
+  // materialized stream: the faithful production TLB and the sweep engine
+  // pricing every other configuration in its one pass.
   ReplaySource source;
   source.log = &log;
   source.kernel_table = &sys->kernel_table();
@@ -199,13 +185,16 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(engine.parser_stats().validation_errors));
   }
 
+  SweepConfig sweep_config;
+  sweep_config.page_map = measured->PageMap();
+  sweep_config.tlb_max_entries = max_entries;
+  sweep_config.icache.push_back({kIcacheLine, kCacheFamilyMin, kCacheFamilyMax});
+  sweep_config.dcache.push_back({kDcacheLine, kCacheFamilyMin, kCacheFamilyMax});
+
   std::vector<ReplayEngine::Config> configs;
   configs.push_back({"production64", [] { return std::make_unique<TlbSimulator>(); }});
-  for (unsigned entries : sizes) {
-    configs.push_back({"sweep" + std::to_string(entries), [entries] {
-                         return std::make_unique<SweepTlb>(entries);
-                       }});
-  }
+  configs.push_back(
+      {"sweep", [&sweep_config] { return std::make_unique<SweepEngine>(sweep_config); }});
   ReplayEngine::Options ropts;
   ropts.jobs = jobs;
   ropts.batch = BatchRefsEnabled();
@@ -216,11 +205,25 @@ int main(int argc, char** argv) {
     outcomes = engine.Run(configs, ropts);
   }
   auto* production = static_cast<TlbSimulator*>(outcomes[0].sink.get());
+  auto* sweep = static_cast<SweepEngine*>(outcomes[1].sink.get());
+  const SweepResult& sres = sweep->Finish();
+  const uint64_t sweep_wall_us = outcomes[1].wall_us;
 
-  printf("\n%-10s %12s\n", "entries", "misses");
-  for (size_t i = 1; i < outcomes.size(); ++i) {
-    auto* sweep = static_cast<SweepTlb*>(outcomes[i].sink.get());
-    printf("%8u   %12llu\n", sweep->entries(), static_cast<unsigned long long>(sweep->misses()));
+  printf("\nLRU TLB capacity-miss curve (exact, one stack-distance pass):\n");
+  printf("%-10s %12s\n", "entries", "misses");
+  for (unsigned entries : sizes) {
+    if (entries == 0 || entries > sres.tlb_lru_misses.size()) {
+      continue;
+    }
+    printf("%8u   %12llu\n", entries,
+           static_cast<unsigned long long>(sres.tlb_lru_misses[entries - 1]));
+  }
+  printf("\ncache-size family (exact, same pass; line %u/%u bytes):\n", kIcacheLine, kDcacheLine);
+  printf("%-10s %12s %12s\n", "size", "i-misses", "d-misses");
+  for (size_t i = 0; i < sres.icache.size(); ++i) {
+    printf("%7uK   %12llu %12llu\n", sres.icache[i].size_bytes / 1024,
+           static_cast<unsigned long long>(sres.icache[i].misses),
+           static_cast<unsigned long long>(sres.dcache[i].misses));
   }
   printf("\nfaithful 64-entry simulation (random replacement, synthesized\n");
   printf("handler refs): %llu misses\n",
@@ -233,20 +236,79 @@ int main(int argc, char** argv) {
   printf("measured on the uninstrumented system (kernel counter): %llu misses\n",
          static_cast<unsigned long long>(measured->UtlbMissCount()));
 
+  // --check: replay every cache family point through an independent
+  // TraceDrivenSimulator and demand bit-identical miss counts.  Also the
+  // honest speedup measurement: those K replays are exactly what the sweep
+  // pass replaced.
+  uint64_t check_wall_us = 0;
+  if (check) {
+    printf("\nverifying %zu family points against independent replays...\n", sres.icache.size());
+    std::vector<ReplayEngine::Config> check_configs;
+    for (const SweepCachePoint& point : sres.icache) {
+      PredictorConfig pc;
+      pc.page_map = measured->PageMap();
+      pc.memsys.icache = {point.size_bytes, point.line_bytes};
+      check_configs.push_back({"check" + std::to_string(point.size_bytes), [pc] {
+                                 return std::make_unique<TraceDrivenSimulator>(pc);
+                               }});
+    }
+    std::vector<ReplayEngine::Outcome> check_outcomes;
+    {
+      EventRecorder::Scope scope(&events, "replay.check", "analysis");
+      check_outcomes = engine.Run(check_configs, ropts);
+    }
+    for (size_t i = 0; i < check_outcomes.size(); ++i) {
+      auto* sim = static_cast<TraceDrivenSimulator*>(check_outcomes[i].sink.get());
+      Prediction p = sim->Finish();
+      const SweepCachePoint& point = sres.icache[i];
+      check_wall_us += check_outcomes[i].wall_us;
+      if (p.memsys_stats.icache_misses != point.misses ||
+          p.memsys_stats.dcache_misses != sweep->DcacheMisses(kDcacheLine, 64 * 1024)) {
+        fprintf(stderr,
+                "*** MISMATCH at %uK: sweep i=%llu d=%llu, replay i=%llu d=%llu ***\n",
+                point.size_bytes / 1024, static_cast<unsigned long long>(point.misses),
+                static_cast<unsigned long long>(sweep->DcacheMisses(kDcacheLine, 64 * 1024)),
+                static_cast<unsigned long long>(p.memsys_stats.icache_misses),
+                static_cast<unsigned long long>(p.memsys_stats.dcache_misses));
+        return 1;
+      }
+    }
+    printf("all %zu points bit-identical; %zu replays took %.1fms vs one %.1fms sweep pass "
+           "(%.1fx)\n",
+           sres.icache.size(), check_outcomes.size(),
+           static_cast<double>(check_wall_us) / 1000.0,
+           static_cast<double>(sweep_wall_us) / 1000.0,
+           sweep_wall_us == 0
+               ? 0.0
+               : static_cast<double>(check_wall_us) / static_cast<double>(sweep_wall_us));
+  }
+
   // Throughput accounting: the replay fan-out against the live-analysis
   // bound it replaced (refs over the traced machine run's wall time — the
   // fastest live analysis could possibly go, since it runs in lockstep
-  // with trace generation).
+  // with trace generation), and the sweep's equivalent-replay rate (one
+  // pass pricing family_points configurations at once).  The replay rate
+  // covers the real replays only — the sweep pass is priced per family
+  // point by sweep.mrefs_per_sec, matching the harness's accounting.
   const double refs = static_cast<double>(engine.refs().size());
   const double live_mrefs =
       traced_wall_us == 0 ? 0 : refs / (static_cast<double>(traced_wall_us) * 1e-6) / 1e6;
-  const double speedup = live_mrefs == 0 ? 0 : engine.mrefs_per_sec() / live_mrefs;
+  const double replay_mrefs =
+      outcomes[0].wall_us == 0 ? 0 : refs / static_cast<double>(outcomes[0].wall_us);
+  const double speedup = live_mrefs == 0 ? 0 : replay_mrefs / live_mrefs;
+  const double sweep_mrefs =
+      sweep_wall_us == 0
+          ? 0
+          : static_cast<double>(sres.family_points) * refs / static_cast<double>(sweep_wall_us);
   printf("\ncapture: %llu words -> %llu bytes (%.2fx compression)\n",
          static_cast<unsigned long long>(log.words()),
          static_cast<unsigned long long>(log.stored_bytes()), log.CompressionRatio());
-  printf("replay:  %zu configs x %.1fM refs at %.1f Mrefs/s (live-analysis bound "
-         "%.1f Mrefs/s, %.1fx)\n",
-         outcomes.size(), refs / 1e6, engine.mrefs_per_sec(), live_mrefs, speedup);
+  printf("replay:  %zu configs x %.1fM refs; fan-out at %.1f Mrefs/s (live-analysis "
+         "bound %.1f Mrefs/s, %.1fx)\n",
+         outcomes.size(), refs / 1e6, replay_mrefs, live_mrefs, speedup);
+  printf("sweep:   %zu family points + %u-entry TLB curve in one pass "
+         "(%.0f Mrefs/s equivalent)\n",
+         sres.family_points, max_entries, sweep_mrefs);
 
   if (!json_path.empty()) {
     // The wrlstats report: everything above, machine-readable.
@@ -257,11 +319,7 @@ int main(int argc, char** argv) {
     engine.RegisterStats(registry, "replay.");
     log.RegisterStats(registry, "tracelog.");
     production->RegisterStats(registry, "tlbsim.");
-    for (size_t i = 1; i < outcomes.size(); ++i) {
-      const auto* sweep = static_cast<const SweepTlb*>(outcomes[i].sink.get());
-      registry.AddGauge("sweep.entries_" + std::to_string(sweep->entries()) + ".misses",
-                        [sweep] { return static_cast<double>(sweep->misses()); });
-    }
+    sweep->RegisterStats(registry, "sweep.");
     StatsSnapshot snapshot = registry.Snapshot();
 
     JsonWriter writer;
@@ -280,16 +338,34 @@ int main(int argc, char** argv) {
     writer.KV("traced_machine_runs", 1.0);
     writer.KV("replay.configs", static_cast<double>(outcomes.size()));
     writer.KV("replay.refs", refs);
-    writer.KV("replay.mrefs_per_sec", engine.mrefs_per_sec());
+    writer.KV("replay.mrefs_per_sec", replay_mrefs);
     writer.KV("live.mrefs_per_sec", live_mrefs);
     writer.KV("replay.speedup_vs_live", speedup);
     writer.KV("tracelog.words", static_cast<double>(log.words()));
     writer.KV("tracelog.stored_bytes", static_cast<double>(log.stored_bytes()));
     writer.KV("tracelog.compression_ratio", log.CompressionRatio());
-    for (size_t i = 1; i < outcomes.size(); ++i) {
-      const auto* sweep = static_cast<const SweepTlb*>(outcomes[i].sink.get());
-      writer.KV("eqntott.sweep.entries_" + std::to_string(sweep->entries()) + ".misses",
-                static_cast<double>(sweep->misses()));
+    writer.KV("sweep.family_points", static_cast<double>(sres.family_points));
+    writer.KV("sweep.tlb_max_entries", static_cast<double>(max_entries));
+    if (sweep_mrefs > 0) {
+      writer.KV("sweep.mrefs_per_sec", sweep_mrefs);
+    }
+    if (check && check_wall_us > 0 && sweep_wall_us > 0) {
+      writer.KV("sweep.speedup_vs_replay",
+                static_cast<double>(check_wall_us) / static_cast<double>(sweep_wall_us));
+    }
+    for (unsigned entries : sizes) {
+      if (entries == 0 || entries > sres.tlb_lru_misses.size()) {
+        continue;
+      }
+      writer.KV("eqntott.sweep.entries_" + std::to_string(entries) + ".misses",
+                static_cast<double>(sres.tlb_lru_misses[entries - 1]));
+    }
+    for (size_t i = 0; i < sres.icache.size(); ++i) {
+      const std::string kb = std::to_string(sres.icache[i].size_bytes / 1024);
+      writer.KV("eqntott.sweep.icache_" + kb + "k.misses",
+                static_cast<double>(sres.icache[i].misses));
+      writer.KV("eqntott.sweep.dcache_" + kb + "k.misses",
+                static_cast<double>(sres.dcache[i].misses));
     }
     writer.EndObject();
     writer.Key("counters");

@@ -25,6 +25,38 @@ uint64_t WallNowUs() {
                                    .count());
 }
 
+bool IsPow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// A variant the sweep engine can price exactly: only the (power-of-two)
+// cache geometry differs from the primary configuration.  Anything that
+// perturbs the reference stream or the non-cache timing — TLB wiring,
+// page-map draws, miss penalties, write-buffer shape — needs a real replay.
+bool GeometryOnly(const ReplayVariant& v, const PredictorConfig& primary) {
+  const MemSysConfig& base = primary.memsys;
+  return v.tlb_wired == primary.tlb_wired && v.page_map_mult == 0 &&
+         v.memsys.read_miss_penalty == base.read_miss_penalty &&
+         v.memsys.uncached_penalty == base.uncached_penalty &&
+         v.memsys.wb_depth == base.wb_depth &&
+         v.memsys.wb_cycles_per_entry == base.wb_cycles_per_entry &&
+         IsPow2(v.memsys.icache.line_bytes) && IsPow2(v.memsys.icache.size_bytes) &&
+         IsPow2(v.memsys.dcache.line_bytes) && IsPow2(v.memsys.dcache.size_bytes) &&
+         v.memsys.icache.size_bytes >= v.memsys.icache.line_bytes &&
+         v.memsys.dcache.size_bytes >= v.memsys.dcache.line_bytes;
+}
+
+// Extends `families` so the family at `line` covers `size` (the forest
+// prices every power-of-two size in the range anyway).
+void CoverFamilyPoint(std::vector<CacheFamilySpec>& families, uint32_t line, uint32_t size) {
+  for (CacheFamilySpec& family : families) {
+    if (family.line_bytes == line) {
+      family.min_size_bytes = std::min(family.min_size_bytes, size);
+      family.max_size_bytes = std::max(family.max_size_bytes, size);
+      return;
+    }
+  }
+  families.push_back({line, size, size});
+}
+
 // Non-owning pass-through, so a stack-allocated analysis chain can serve as
 // a ReplayEngine config (which wants to own its sinks).
 class BorrowedSink : public RefBatchSink {
@@ -86,6 +118,15 @@ class ProgressMeter {
     }
     sim_insts_.fetch_add(result.simulated_instructions);
     run_wall_us_.fetch_add(result.run_wall_us);
+    if (result.sweep_ran) {
+      // Sweep passes are reported on their own — one pass prices many
+      // family points, so folding them into the replay/ref totals would
+      // misstate both.
+      sweep_passes_.fetch_add(1);
+      sweep_points_.fetch_add(result.sweep.family_points);
+      sweep_point_refs_.fetch_add(result.sweep.family_points * result.sweep.refs);
+      sweep_wall_us_.fetch_add(result.sweep.wall_us);
+    }
   }
 
  private:
@@ -105,8 +146,24 @@ class ProgressMeter {
       double eta_s = elapsed_s * static_cast<double>(total_ - done) / static_cast<double>(done);
       std::snprintf(eta, sizeof eta, "%.0fs", eta_s);
     }
-    std::fprintf(stderr, "[wrl] %llu/%zu workloads | %.1f Mrefs/s | sim %.1f mips | eta %s\n",
-                 static_cast<unsigned long long>(done), total_, mrefs, mips, eta);
+    char sweep[64];
+    uint64_t passes = sweep_passes_.load();
+    if (passes == 0) {
+      sweep[0] = '\0';
+    } else {
+      // Per-family-point throughput: the equivalent replay rate the sweep
+      // passes delivered (points × refs per second of sweep wall time).
+      uint64_t sweep_wall = sweep_wall_us_.load();
+      double point_mrefs =
+          sweep_wall > 0
+              ? static_cast<double>(sweep_point_refs_.load()) / static_cast<double>(sweep_wall)
+              : 0.0;
+      std::snprintf(sweep, sizeof sweep, " | sweep %llu pass(es), %llu pts @ %.0f Mrefs/s",
+                    static_cast<unsigned long long>(passes),
+                    static_cast<unsigned long long>(sweep_points_.load()), point_mrefs);
+    }
+    std::fprintf(stderr, "[wrl] %llu/%zu workloads | %.1f Mrefs/s | sim %.1f mips%s | eta %s\n",
+                 static_cast<unsigned long long>(done), total_, mrefs, mips, sweep, eta);
   }
 
   size_t total_;
@@ -116,6 +173,10 @@ class ProgressMeter {
   std::atomic<uint64_t> refs_{0};
   std::atomic<uint64_t> sim_insts_{0};
   std::atomic<uint64_t> run_wall_us_{0};
+  std::atomic<uint64_t> sweep_passes_{0};
+  std::atomic<uint64_t> sweep_points_{0};
+  std::atomic<uint64_t> sweep_point_refs_{0};
+  std::atomic<uint64_t> sweep_wall_us_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
@@ -238,7 +299,6 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   //   * capture-replay: the drains are captured into a packed TraceLog and
   //     the analysis — primary config plus every ReplayVariant — replays
   //     the capture after the run (one parse, K cheap replays).
-  const bool capture = options.capture_replay || !options.replay_variants.empty();
   std::unique_ptr<SystemInstance> traced;
   std::unique_ptr<TraceParser> parser;
   TraceLog trace_log;
@@ -260,6 +320,43 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     pconfig.page_map = measured->PageMap();
   }
   TraceDrivenSimulator simulator(pconfig);
+
+  // Partition the replay variants: with the sweep active, geometry-only
+  // variants are priced by the single-pass sweep engine; the rest fan out
+  // to real replays.  The sweep engine's families are widened to cover
+  // every absorbed geometry, and its construction rejects non-power-of-two
+  // family specs with a diagnostic naming the offending size.
+  const bool sweep_active = options.sweep.Active();
+  std::vector<ReplayVariant> replayed_variants;
+  std::vector<bool> variant_swept(options.replay_variants.size(), false);
+  std::unique_ptr<SweepEngine> sweep_engine;
+  if (sweep_active) {
+    SweepConfig sweep_config;
+    sweep_config.base = pconfig.memsys;
+    sweep_config.page_map = pconfig.page_map;
+    sweep_config.tlb_wired = pconfig.tlb_wired;
+    sweep_config.icache = options.sweep.icache;
+    sweep_config.dcache = options.sweep.dcache;
+    sweep_config.tlb_max_entries = options.sweep.tlb_max_entries;
+    for (size_t i = 0; i < options.replay_variants.size(); ++i) {
+      const ReplayVariant& v = options.replay_variants[i];
+      if (GeometryOnly(v, pconfig)) {
+        variant_swept[i] = true;
+        CoverFamilyPoint(sweep_config.icache, v.memsys.icache.line_bytes,
+                         v.memsys.icache.size_bytes);
+        CoverFamilyPoint(sweep_config.dcache, v.memsys.dcache.line_bytes,
+                         v.memsys.dcache.size_bytes);
+      } else {
+        replayed_variants.push_back(v);
+      }
+    }
+    sweep_engine = std::make_unique<SweepEngine>(sweep_config);
+  } else {
+    replayed_variants = options.replay_variants;
+  }
+  // Capture only when something actually replays: when the sweep absorbs
+  // every variant the analysis (and the sweep with it) can stay live.
+  const bool capture = options.capture_replay || !replayed_variants.empty();
   // Pipelined transport state.  Declared after every component the consumer
   // thread touches (parser, simulator, profiler, tee, trace_log), so stack
   // unwinding joins the consumer before any of them is destroyed.
@@ -271,6 +368,11 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   uint64_t consumer_epoch_us = 0;
   std::unique_ptr<TracePipeline> pipeline;
   std::exception_ptr traced_exc;
+  // Outcomes of the real (non-swept) replays, merged back into
+  // result.replays in the caller's variant order after the primary
+  // prediction is finalized.
+  std::vector<ReplayVariantResult> replay_results;
+  uint64_t sweep_outcome_wall_us = 0;
   try {
     // Original binaries, for the pixie-style arithmetic-stall estimate.
     simulator.AddTextImage(measured->kernel_exe());
@@ -313,18 +415,30 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
         parser->SetUserTable(2, &traced->server_table());
       }
       parser->SetInitialContext(kKernelPid);
+      std::vector<RefBatchSink*> live_sinks{&simulator};
+      if (profiler != nullptr) {
+        live_sinks.push_back(profiler.get());
+      }
+      if (sweep_engine != nullptr) {
+        live_sinks.push_back(sweep_engine.get());
+      }
       if (options.batch) {
-        if (profiler != nullptr) {
-          tee = std::make_unique<TeeBatchSink>(
-              std::vector<RefBatchSink*>{&simulator, profiler.get()});
+        if (live_sinks.size() > 1) {
+          tee = std::make_unique<TeeBatchSink>(live_sinks);
           parser->SetBatchSink(tee.get());
         } else {
           parser->SetBatchSink(&simulator);
         }
-      } else if (profiler != nullptr) {
-        parser->SetRefSink([&simulator, prof = profiler.get()](const TraceRef& ref) {
+      } else if (live_sinks.size() > 1) {
+        parser->SetRefSink([&simulator, prof = profiler.get(),
+                            sweep = sweep_engine.get()](const TraceRef& ref) {
           simulator.OnRef(ref);
-          prof->OnRef(ref);
+          if (prof != nullptr) {
+            prof->OnRef(ref);
+          }
+          if (sweep != nullptr) {
+            sweep->OnRef(ref);
+          }
         });
       } else {
         parser->SetRefSink([&simulator](const TraceRef& ref) { simulator.OnRef(ref); });
@@ -388,8 +502,16 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
                              return std::make_unique<BorrowedSink>(prof);
                            }});
       }
-      const size_t variant_begin = profiler != nullptr ? 2 : 1;
-      for (const ReplayVariant& variant : options.replay_variants) {
+      if (sweep_engine != nullptr) {
+        // The whole family rides the fan-out as ONE extra pass over the
+        // materialized stream, whatever the family's size.
+        configs.push_back({"sweep", [sweep = sweep_engine.get()] {
+                             return std::make_unique<BorrowedSink>(sweep);
+                           }});
+      }
+      const size_t variant_begin =
+          1 + (profiler != nullptr ? 1 : 0) + (sweep_engine != nullptr ? 1 : 0);
+      for (const ReplayVariant& variant : replayed_variants) {
         PredictorConfig vconfig = pconfig;
         vconfig.memsys = variant.memsys;
         vconfig.tlb_wired = variant.tlb_wired;
@@ -410,6 +532,11 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       {
         EventRecorder::Scope scope(events, "replay:" + workload.name, "analysis");
         std::vector<ReplayEngine::Outcome> outcomes = engine->Run(configs, ropts);
+        const size_t sweep_idx =
+            sweep_engine != nullptr ? 1 + (profiler != nullptr ? 1 : 0) : outcomes.size();
+        if (sweep_idx < outcomes.size()) {
+          sweep_outcome_wall_us = outcomes[sweep_idx].wall_us;
+        }
         for (size_t i = variant_begin; i < outcomes.size(); ++i) {
           auto* sim = static_cast<TraceDrivenSimulator*>(outcomes[i].sink.get());
           ReplayVariantResult vr;
@@ -418,14 +545,32 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
           vr.tlb = sim->tlb().stats();
           vr.refs = outcomes[i].refs;
           vr.wall_us = outcomes[i].wall_us;
-          result.replays.push_back(std::move(vr));
+          replay_results.push_back(std::move(vr));
+        }
+        if (sweep_engine != nullptr) {
+          // The replay throughput metric counts only real replays: the
+          // sweep pass's equivalent-replay rate is sweep_mrefs_per_sec.
+          uint64_t replay_refs = 0;
+          uint64_t replay_wall_us = 0;
+          for (size_t i = 0; i < outcomes.size(); ++i) {
+            if (i == sweep_idx) {
+              continue;
+            }
+            replay_refs += outcomes[i].refs;
+            replay_wall_us += outcomes[i].wall_us;
+          }
+          result.replay_mrefs_per_sec =
+              replay_wall_us > 0
+                  ? static_cast<double>(replay_refs) / static_cast<double>(replay_wall_us)
+                  : 0.0;
+        } else {
+          result.replay_mrefs_per_sec = engine->mrefs_per_sec();
         }
       }
       result.parser_errors = engine->parser_stats().validation_errors;
       result.trace_log_words = trace_log.words();
       result.trace_log_bytes = trace_log.stored_bytes();
       result.trace_compression = trace_log.CompressionRatio();
-      result.replay_mrefs_per_sec = engine->mrefs_per_sec();
     } else {
       parser->Finish();
       result.parser_errors = parser->stats().validation_errors;
@@ -434,6 +579,36 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       result.profile = profiler->Finish();
     }
     result.prediction = simulator.Finish();
+    if (sweep_engine != nullptr) {
+      result.sweep = sweep_engine->Finish();
+      result.sweep.wall_us = sweep_outcome_wall_us;
+      result.sweep_ran = true;
+      if (sweep_outcome_wall_us > 0) {
+        // Equivalent-replay throughput: one pass priced `family_points`
+        // configurations of `refs` references each.
+        result.sweep_mrefs_per_sec =
+            static_cast<double>(result.sweep.family_points) *
+            static_cast<double>(result.sweep.refs) / static_cast<double>(sweep_outcome_wall_us);
+      }
+    }
+    // Merge the variant results back in the caller's order: swept variants
+    // carry exact miss counts from the shared pass and derived timing,
+    // replayed ones their own simulator's numbers.
+    size_t replayed_idx = 0;
+    for (size_t i = 0; i < options.replay_variants.size(); ++i) {
+      const ReplayVariant& v = options.replay_variants[i];
+      if (variant_swept[i]) {
+        ReplayVariantResult vr;
+        vr.name = v.name;
+        vr.prediction = sweep_engine->DerivePrediction(result.prediction, v.memsys);
+        vr.tlb = sweep_engine->tlb_stats();
+        vr.refs = result.sweep.refs;
+        vr.swept = true;
+        result.replays.push_back(std::move(vr));
+      } else {
+        result.replays.push_back(std::move(replay_results[replayed_idx++]));
+      }
+    }
     result.traced_machine_instructions = traced->machine().instructions();
     result.trace_words = traced->trace_words_drained();
     result.analysis_switches = traced->AnalysisSwitches();
@@ -472,6 +647,9 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     parser->RegisterStats(registry, "parser.");
   }
   simulator.RegisterStats(registry, "predicted.");
+  if (sweep_engine != nullptr) {
+    sweep_engine->RegisterStats(registry, "sweep.");
+  }
   if (pipeline != nullptr) {
     pipeline->RegisterStats(registry, "trace.pipeline.");
   }

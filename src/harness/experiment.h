@@ -16,6 +16,7 @@
 #include "sim/predictor.h"
 #include "stats/events.h"
 #include "stats/stats.h"
+#include "sweep/sweep.h"
 #include "trace/chunk_ring.h"
 #include "trace/trace_log.h"
 #include "workloads/workloads.h"
@@ -40,6 +41,31 @@ struct ReplayVariantResult {
   TlbSimStats tlb;
   uint64_t refs = 0;
   uint64_t wall_us = 0;
+  // Priced by the single-pass sweep engine instead of a dedicated replay
+  // (exact miss counts, derived timing — see DESIGN.md §13).
+  bool swept = false;
+};
+
+// Single-pass sweep configuration (src/sweep).  When active, one
+// SweepEngine pass rides the analysis stream — live behind the parser or
+// as one more replay config in capture mode — and (a) prices the explicit
+// cache families and TLB curve below, and (b) absorbs every *geometry-only*
+// ReplayVariant (same penalties, write buffer, TLB wiring, and page map as
+// the primary; power-of-two cache geometry): those variants get exact miss
+// counts from the shared pass and derived timing instead of a dedicated
+// replay.  Non-sweepable variants still fan out to real replays.
+struct SweepOptions {
+  // Activates the sweep even with no explicit families (it then covers
+  // only the geometry-only replay variants and/or the TLB curve).
+  bool enabled = false;
+  std::vector<CacheFamilySpec> icache;
+  std::vector<CacheFamilySpec> dcache;
+  // Capacity bound of the exported LRU TLB miss curve (0 = no curve).
+  unsigned tlb_max_entries = 0;
+
+  bool Active() const {
+    return enabled || !icache.empty() || !dcache.empty() || tlb_max_entries > 0;
+  }
 };
 
 struct ExperimentOptions {
@@ -99,6 +125,8 @@ struct ExperimentOptions {
   // ExperimentResult::profile.  Bit-identical in every mode.
   bool profile = false;
   ProfileOptions profile_options;
+  // Single-pass multi-configuration sweep (see SweepOptions above).
+  SweepOptions sweep;
   // Live progress heartbeat: RunSuite emits periodic stderr lines
   // (workloads done, refs/sec, sim.mips, ETA).  WRL_PROGRESS=1 in the
   // environment forces it on.  Reports are unaffected — the heartbeat
@@ -139,7 +167,17 @@ struct ExperimentResult {
   uint64_t trace_log_words = 0;
   uint64_t trace_log_bytes = 0;       // Stored (packed) bytes.
   double trace_compression = 0;       // raw_bytes / stored_bytes.
-  double replay_mrefs_per_sec = 0;    // Fan-out throughput of the replays.
+  // Fan-out throughput of the real replays (the sweep pass is excluded —
+  // its throughput is sweep_mrefs_per_sec, counted per family point).
+  double replay_mrefs_per_sec = 0;
+
+  // Single-pass sweep outputs (sweep_ran only when SweepOptions::Active()).
+  bool sweep_ran = false;
+  SweepResult sweep;
+  // Equivalent-replay throughput of the sweep pass: family points × refs
+  // per wall-second of the one pass (capture mode only — live-mode sweeps
+  // share the traced run's wall clock and report 0).
+  double sweep_mrefs_per_sec = 0;
 
   // The attribution profile (empty unless ExperimentOptions::profile).
   Profile profile;

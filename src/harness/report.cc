@@ -55,6 +55,24 @@ std::map<std::string, double> FlatMetrics(const std::vector<ExperimentResult>& r
   if (replay_experiments > 0) {
     metrics["replay.mrefs_per_sec"] = replay_mrefs_sum / static_cast<double>(replay_experiments);
   }
+  // Single-pass sweep throughput: equivalent-replay references per second
+  // (family points × refs / sweep wall), averaged like replay.mrefs_per_sec,
+  // plus the speedup over pricing the same points with real replays.
+  double sweep_mrefs_sum = 0;
+  size_t sweep_experiments = 0;
+  for (const ExperimentResult& r : results) {
+    if (r.sweep_mrefs_per_sec > 0) {
+      sweep_mrefs_sum += r.sweep_mrefs_per_sec;
+      ++sweep_experiments;
+    }
+  }
+  if (sweep_experiments > 0) {
+    metrics["sweep.mrefs_per_sec"] = sweep_mrefs_sum / static_cast<double>(sweep_experiments);
+    if (replay_experiments > 0 && metrics["replay.mrefs_per_sec"] > 0) {
+      metrics["sweep.speedup_vs_replay"] =
+          metrics["sweep.mrefs_per_sec"] / metrics["replay.mrefs_per_sec"];
+    }
+  }
   // Simulator throughput: simulated instructions per wall-second of run
   // time, aggregated over the whole suite.  Wall-clock dependent, so it is
   // a single global key — the per-workload keys above stay deterministic.
@@ -158,9 +176,57 @@ void WriteExperiment(JsonWriter& writer, const ExperimentResult& r,
       writer.KV("mem_stall_cycles", v.prediction.mem_stall_cycles);
       writer.KV("refs", v.refs);
       writer.KV("wall_us", v.wall_us);
+      writer.KV("swept", v.swept);
       writer.EndObject();
     }
     writer.EndArray();
+  }
+  if (r.sweep_ran) {
+    // The single-pass sweep: every family point priced by one walk over
+    // the reference stream (exact miss counts; derived timing).
+    writer.Key("sweep").BeginObject();
+    writer.KV("refs", r.sweep.refs);
+    writer.KV("synthesized_refs", r.sweep.synthesized_refs);
+    writer.KV("family_points", static_cast<uint64_t>(r.sweep.family_points));
+    writer.KV("wall_us", r.sweep.wall_us);
+    if (r.sweep_mrefs_per_sec > 0) {
+      writer.KV("mrefs_per_sec", r.sweep_mrefs_per_sec);
+    }
+    writer.Key("icache").BeginArray();
+    for (const SweepCachePoint& p : r.sweep.icache) {
+      writer.BeginObject();
+      writer.KV("line_bytes", static_cast<uint64_t>(p.line_bytes));
+      writer.KV("size_bytes", static_cast<uint64_t>(p.size_bytes));
+      writer.KV("misses", p.misses);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.Key("dcache").BeginArray();
+    for (const SweepCachePoint& p : r.sweep.dcache) {
+      writer.BeginObject();
+      writer.KV("line_bytes", static_cast<uint64_t>(p.line_bytes));
+      writer.KV("size_bytes", static_cast<uint64_t>(p.size_bytes));
+      writer.KV("misses", p.misses);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    if (!r.sweep.tlb_lru_misses.empty()) {
+      writer.Key("tlb").BeginObject();
+      writer.KV("refs", r.sweep.tlb_refs);
+      writer.KV("cold_misses", r.sweep.tlb_cold_misses);
+      // The exact LRU capacity-miss curve at power-of-two capacities (the
+      // full per-entry curve lives in SweepResult for programmatic use).
+      writer.Key("lru_misses").BeginArray();
+      for (size_t c = 1; c <= r.sweep.tlb_lru_misses.size(); c <<= 1) {
+        writer.BeginObject();
+        writer.KV("entries", static_cast<uint64_t>(c));
+        writer.KV("misses", r.sweep.tlb_lru_misses[c - 1]);
+        writer.EndObject();
+      }
+      writer.EndArray();
+      writer.EndObject();
+    }
+    writer.EndObject();
   }
 
   if (r.profile.totals.refs > 0) {

@@ -9,10 +9,14 @@ namespace wrl {
 
 TraceDrivenSimulator::TraceDrivenSimulator(const PredictorConfig& config)
     : config_(config), memsys_(config.memsys), tlb_(config.tlb_wired) {
-  tlb_.SetSynthesizedSink([this](const TraceRef& ref) {
-    ++result_.synthesized_refs;
-    Access(ref);
-  });
+  tlb_.SetSynthesizedSink(&synth_sink_);
+}
+
+void TraceDrivenSimulator::SynthSink::OnRefBatch(const TraceRef* refs, size_t count) {
+  owner_->result_.synthesized_refs += count;
+  for (size_t i = 0; i < count; ++i) {
+    owner_->Access(refs[i]);
+  }
 }
 
 void TraceDrivenSimulator::AddTextImage(const Executable& exe) {
@@ -31,19 +35,7 @@ uint32_t TraceDrivenSimulator::TextWordAt(uint32_t addr) const {
 }
 
 uint32_t TraceDrivenSimulator::Translate(const TraceRef& ref) const {
-  uint32_t vaddr = ref.addr;
-  if (InKseg0(vaddr) || InKseg1(vaddr)) {
-    return vaddr & 0x1fffffffu;
-  }
-  if (InKseg2(vaddr)) {
-    // Page-table pages: runtime-allocated by the kernel; the simulator
-    // cannot reproduce the exact frames, so it uses a stable synthetic
-    // mapping inside the PT pool (a tiny and deliberate approximation).
-    return 0x00600000u | (vaddr & 0x001ff000u) | (vaddr & 0xfffu);
-  }
-  uint32_t pid = ref.pid == kKernelPid ? 1 : ref.pid;
-  uint32_t pfn = config_.page_map ? config_.page_map(pid, vaddr >> 12) : (vaddr >> 12);
-  return (pfn << 12) | (vaddr & 0xfffu);
+  return TranslateRef(ref, config_.page_map);
 }
 
 void TraceDrivenSimulator::Access(const TraceRef& ref) {

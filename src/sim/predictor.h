@@ -25,6 +25,7 @@
 #include <map>
 #include <vector>
 
+#include "mach/address_space.h"
 #include "memsys/memsys.h"
 #include "obj/object_file.h"
 #include "sim/tlb_sim.h"
@@ -34,6 +35,26 @@ namespace wrl {
 
 // Virtual page -> physical frame, per process (pid, vpn) -> pfn.
 using PageMapFn = std::function<uint32_t(uint32_t pid, uint32_t vpn)>;
+
+// The analysis-side virtual-to-physical translation, shared by the
+// trace-driven simulator and the sweep engine so every consumer of the
+// reference stream indexes the physically-indexed caches identically:
+// kseg0/kseg1 strip the segment bits; kseg2 page-table pages use a stable
+// synthetic mapping inside the PT pool (runtime frames are unknowable from
+// the trace — a tiny and deliberate approximation); kuseg goes through the
+// page-mapping policy, with kernel references attributed to pid 1.
+inline uint32_t TranslateRef(const TraceRef& ref, const PageMapFn& page_map) {
+  uint32_t vaddr = ref.addr;
+  if (InKseg0(vaddr) || InKseg1(vaddr)) {
+    return vaddr & 0x1fffffffu;
+  }
+  if (InKseg2(vaddr)) {
+    return 0x00600000u | (vaddr & 0x001ff000u) | (vaddr & 0xfffu);
+  }
+  uint32_t pid = ref.pid == kKernelPid ? 1 : ref.pid;
+  uint32_t pfn = page_map ? page_map(pid, vaddr >> 12) : (vaddr >> 12);
+  return (pfn << 12) | (vaddr & 0xfffu);
+}
 
 struct PredictorConfig {
   MemSysConfig memsys;
@@ -103,6 +124,19 @@ class TraceDrivenSimulator : public RefBatchSink {
   void RegisterStats(StatsRegistry& registry, const std::string& prefix = "predictor.");
 
  private:
+  // Receives the synthesized UTLB-handler batches from the TLB simulator
+  // and folds them into the cache simulation (counted, but not re-run
+  // through the TLB).  A nested adapter rather than the simulator itself:
+  // TraceDrivenSimulator's own OnRefBatch treats refs as main-stream.
+  class SynthSink : public RefBatchSink {
+   public:
+    explicit SynthSink(TraceDrivenSimulator* owner) : owner_(owner) {}
+    void OnRefBatch(const TraceRef* refs, size_t count) override;
+
+   private:
+    TraceDrivenSimulator* owner_;
+  };
+
   void Access(const TraceRef& ref);
   bool current_is_kernel_ = false;
   uint32_t Translate(const TraceRef& ref) const;
@@ -113,6 +147,7 @@ class TraceDrivenSimulator : public RefBatchSink {
   PredictorConfig config_;
   MemorySystem memsys_;
   TlbSimulator tlb_;
+  SynthSink synth_sink_{this};
   Prediction result_;
   uint64_t now_ = 0;  // Simulated cycle time driving the write buffer.
 

@@ -51,17 +51,18 @@ bool TlbSimulator::OnRef(const TraceRef& ref) {
 }
 
 void TlbSimulator::SynthesizeHandler(const TraceRef& ref) {
-  if (!synth_sink_) {
+  if (synth_sink_ == nullptr) {
     return;
   }
-  // Thirteen fetches at the dedicated refill vector...
+  // One batch per miss: thirteen fetches at the dedicated refill vector,
+  // then the linear page-table load in kseg2 (PTEBase + vpn*4).
+  TraceRef handler[kHandlerInstructions + 1];
   for (unsigned i = 0; i < kHandlerInstructions; ++i) {
-    synth_sink_({TraceRef::kIfetch, kVecUtlbMiss + 4 * i, 4, kKernelPid, true, false});
+    handler[i] = {TraceRef::kIfetch, kVecUtlbMiss + 4 * i, 4, kKernelPid, true, false};
   }
-  // ...plus the linear page-table load in kseg2 (PTEBase + vpn*4) and the
-  // counter update in kernel data.
   uint32_t pte_addr = kKseg2 + (static_cast<uint32_t>(ref.pid) << 21) + ((ref.addr >> 12) << 2);
-  synth_sink_({TraceRef::kLoad, pte_addr, 4, kKernelPid, true, false});
+  handler[kHandlerInstructions] = {TraceRef::kLoad, pte_addr, 4, kKernelPid, true, false};
+  synth_sink_->OnRefBatch(handler, kHandlerInstructions + 1);
 }
 
 }  // namespace wrl

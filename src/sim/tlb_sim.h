@@ -19,7 +19,6 @@
 #define WRLTRACE_SIM_TLB_SIM_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "mach/tlb.h"
@@ -42,10 +41,12 @@ class TlbSimulator : public RefBatchSink {
 
   explicit TlbSimulator(unsigned wired = 8) : tlb_(wired) {}
 
-  // Synthesized handler references are reported here (for cache simulation).
-  void SetSynthesizedSink(std::function<void(const TraceRef&)> sink) {
-    synth_sink_ = std::move(sink);
-  }
+  // Synthesized handler references are reported here (for cache
+  // simulation): one OnRefBatch call per miss, carrying the whole
+  // handler — kHandlerInstructions fetches plus the page-table load — so
+  // the TLB→cache hand-off is batched and devirtualized like every other
+  // sink edge (no per-ref std::function on the hot path).
+  void SetSynthesizedSink(RefBatchSink* sink) { synth_sink_ = sink; }
 
   // Processes one reference from the parsed trace.  Returns true if the
   // reference took a UTLB miss (and the handler was synthesized).
@@ -74,7 +75,7 @@ class TlbSimulator : public RefBatchSink {
   uint64_t instruction_counter_ = 0;
   uint8_t last_user_asid_ = 0;
   TlbSimStats stats_;
-  std::function<void(const TraceRef&)> synth_sink_;
+  RefBatchSink* synth_sink_ = nullptr;
 };
 
 }  // namespace wrl

@@ -66,7 +66,8 @@ TEST(TlbSimulator, CapacityEvictions) {
 TEST(TlbSimulator, SynthesizesHandlerRefs) {
   TlbSimulator tlb;
   std::vector<TraceRef> synth;
-  tlb.SetSynthesizedSink([&](const TraceRef& r) { synth.push_back(r); });
+  RefFnSink sink([&](const TraceRef& r) { synth.push_back(r); });
+  tlb.SetSynthesizedSink(&sink);
   tlb.OnRef(UserLoad(0x00400000, 3));
   ASSERT_EQ(synth.size(), TlbSimulator::kHandlerInstructions + 1u);
   for (unsigned i = 0; i < TlbSimulator::kHandlerInstructions; ++i) {
