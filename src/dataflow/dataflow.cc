@@ -1,0 +1,227 @@
+#include "dataflow/dataflow.h"
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace wrl {
+namespace {
+
+bool IsTrap(Op op) { return op == Op::kSyscall || op == Op::kBreak; }
+
+// The lifted text of one object: decoded words, delay-slot marking, and
+// `j`/`jal` target resolution through Jump26 relocations against the
+// object's own text symbols.
+class TextLift {
+ public:
+  explicit TextLift(const ObjectFile& obj) : n_(obj.NumTextWords()) {
+    insts_.reserve(n_);
+    for (uint32_t i = 0; i < n_; ++i) {
+      insts_.push_back(Decode(obj.TextWord(i * 4)));
+    }
+    slot_.assign(n_, false);
+    for (uint32_t i = 0; i + 1 < n_; ++i) {
+      if (!slot_[i] && HasDelaySlot(insts_[i].op)) {
+        slot_[i + 1] = true;
+      }
+    }
+    std::unordered_map<std::string, uint32_t> text_syms;
+    for (const Symbol& s : obj.symbols) {
+      if (s.section == SectionId::kText && s.value % 4 == 0 && s.value / 4 < n_) {
+        text_syms.emplace(s.name, s.value / 4);
+      }
+    }
+    for (const Relocation& r : obj.relocations) {
+      if (r.section != SectionId::kText || r.type != RelocType::kJump26) continue;
+      if (r.offset % 4 != 0 || r.addend != 0) continue;
+      auto it = text_syms.find(r.symbol);
+      if (it == text_syms.end()) continue;
+      const uint32_t entry = it->second;
+      if (!slot_[entry]) {
+        jump_targets_.emplace(r.offset / 4, entry);
+      }
+    }
+  }
+
+  uint32_t n() const { return n_; }
+  const Inst& inst(uint32_t i) const { return insts_[i]; }
+  bool is_slot(uint32_t i) const { return slot_[i]; }
+  // Local target of the j/jal at word i, or kNoDfNode when unresolvable.
+  uint32_t JumpTarget(uint32_t i) const {
+    auto it = jump_targets_.find(i);
+    return it == jump_targets_.end() ? kNoDfNode : it->second;
+  }
+
+ private:
+  uint32_t n_;
+  std::vector<Inst> insts_;
+  std::vector<bool> slot_;
+  std::unordered_map<uint32_t, uint32_t> jump_targets_;
+};
+
+// Adds a control edge from → to; edges leaving the text or landing on a
+// delay-slot word degrade to the conservative top.
+void AddEdge(std::vector<DfNode>& nodes, uint32_t from, const TextLift& lift, int64_t to) {
+  DfNode& nd = nodes[from];
+  if (to < 0 || to >= static_cast<int64_t>(lift.n()) || lift.is_slot(static_cast<uint32_t>(to))) {
+    nd.top_out = kAllRegs;
+    return;
+  }
+  if (nd.succ[0] == kNoDfNode) {
+    nd.succ[0] = static_cast<uint32_t>(to);
+  } else {
+    nd.succ[1] = static_cast<uint32_t>(to);
+  }
+}
+
+// Lowers the text into the equation system.  Word i maps to node i (the
+// pair-entry node for a CTI); jal/jalr callsites get one extra summary node
+// carrying the callee transfer between the delay slot and the continuation.
+// `return_top` is the value assumed live after a `jr $ra` return.
+std::vector<DfNode> BuildNodes(const TextLift& lift, uint32_t return_top,
+                               const std::unordered_map<uint32_t, CallSummary>& summaries) {
+  const uint32_t n = lift.n();
+  std::vector<DfNode> nodes(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Inst& a = lift.inst(i);
+    nodes[i].gen = RegsRead(a);
+    nodes[i].kill = RegsWritten(a);
+    if (a.op == Op::kInvalid || IsTrap(a.op)) {
+      // Exception entry / undecodable: everything live.
+      nodes[i].gen = kAllRegs;
+      nodes[i].kill = 0;
+      continue;
+    }
+    if (lift.is_slot(i)) continue;  // Wired below by its CTI.
+    if (!HasDelaySlot(a.op)) {
+      AddEdge(nodes, i, lift, static_cast<int64_t>(i) + 1);
+      continue;
+    }
+    const uint32_t s = i + 1;
+    if (s >= n || HasDelaySlot(lift.inst(s).op)) {
+      // Truncated pair or CTI in the delay slot: give up on the pair.
+      nodes[i].gen = kAllRegs;
+      nodes[i].kill = 0;
+      continue;
+    }
+    nodes[i].succ[0] = s;
+    if (IsBranch(a.op)) {
+      AddEdge(nodes, s, lift, static_cast<int64_t>(i) + 1 + a.imm);
+      AddEdge(nodes, s, lift, static_cast<int64_t>(i) + 2);
+    } else if (a.op == Op::kJ) {
+      const uint32_t t = lift.JumpTarget(i);
+      if (t == kNoDfNode) {
+        nodes[s].top_out = kAllRegs;
+      } else {
+        AddEdge(nodes, s, lift, t);
+      }
+    } else if (a.op == Op::kJr) {
+      nodes[s].top_out |= a.rs == kRa ? return_top : kAllRegs;
+    } else {  // jal / jalr: summary node between the slot and the return point.
+      CallSummary sum;  // Unknown callee: (may_use, must_def) = (ALL, ∅).
+      if (a.op == Op::kJal) {
+        const uint32_t entry = lift.JumpTarget(i);
+        auto it = entry == kNoDfNode ? summaries.end() : summaries.find(entry);
+        if (it != summaries.end()) sum = it->second;
+      }
+      nodes.push_back(DfNode{});
+      const uint32_t c = static_cast<uint32_t>(nodes.size() - 1);
+      nodes[c].gen = sum.may_use;
+      nodes[c].kill = sum.must_def;
+      AddEdge(nodes, c, lift, static_cast<int64_t>(i) + 2);
+      nodes[s].succ[0] = c;
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<uint32_t> SolveBackwardLiveness(const std::vector<DfNode>& nodes) {
+  const uint32_t n = static_cast<uint32_t>(nodes.size());
+  std::vector<uint32_t> in(n, 0);
+  // Predecessor CSR arrays drive the worklist.
+  std::vector<uint32_t> pred_start(n + 1, 0);
+  for (const DfNode& nd : nodes) {
+    for (uint32_t s : nd.succ) {
+      if (s != kNoDfNode) ++pred_start[s + 1];
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) pred_start[i + 1] += pred_start[i];
+  std::vector<uint32_t> preds(pred_start[n]);
+  {
+    std::vector<uint32_t> fill(pred_start.begin(), pred_start.end() - 1);
+    for (uint32_t p = 0; p < n; ++p) {
+      for (uint32_t s : nodes[p].succ) {
+        if (s != kNoDfNode) preds[fill[s]++] = p;
+      }
+    }
+  }
+  // Seed in program order so later nodes (the useful direction for a
+  // backward problem) are processed first.
+  std::vector<uint32_t> stack;
+  stack.reserve(n);
+  std::vector<char> queued(n, 1);
+  for (uint32_t i = 0; i < n; ++i) stack.push_back(i);
+  while (!stack.empty()) {
+    const uint32_t q = stack.back();
+    stack.pop_back();
+    queued[q] = 0;
+    const DfNode& nd = nodes[q];
+    uint32_t out = nd.top_out;
+    for (uint32_t s : nd.succ) {
+      if (s != kNoDfNode) out |= in[s];
+    }
+    const uint32_t v = nd.gen | (out & ~nd.kill);
+    if (v == in[q]) continue;
+    in[q] = v;
+    for (uint32_t k = pred_start[q]; k < pred_start[q + 1]; ++k) {
+      const uint32_t p = preds[k];
+      if (!queued[p]) {
+        queued[p] = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+  return in;
+}
+
+LivenessInfo ComputeLiveness(const ObjectFile& obj) {
+  TextLift lift(obj);
+  // Local callee entries = resolvable jal targets; summaries start
+  // optimistic (U = ∅, D = ALL) and grow/shrink monotonically.
+  std::unordered_map<uint32_t, CallSummary> summaries;
+  for (uint32_t i = 0; i < lift.n(); ++i) {
+    if (lift.inst(i).op == Op::kJal && !lift.is_slot(i)) {
+      const uint32_t entry = lift.JumpTarget(i);
+      if (entry != kNoDfNode) {
+        summaries.emplace(entry, CallSummary{0, kAllRegs});
+      }
+    }
+  }
+  std::vector<uint32_t> in_all;
+  for (;;) {
+    // System-U (return-out = ∅) yields may-use at each entry; System-D
+    // (return-out = ALL) yields must-def as the complement of entry
+    // liveness.  The final System-D solution is the answer itself.
+    std::vector<uint32_t> in_none = SolveBackwardLiveness(BuildNodes(lift, 0, summaries));
+    in_all = SolveBackwardLiveness(BuildNodes(lift, kAllRegs, summaries));
+    bool changed = false;
+    for (auto& [entry, sum] : summaries) {
+      const CallSummary next{in_none[entry], ~in_all[entry]};
+      if (next.may_use != sum.may_use || next.must_def != sum.must_def) {
+        sum = next;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  LivenessInfo info;
+  if (lift.n() > 0) {
+    info.live_in.assign(in_all.begin(), in_all.begin() + lift.n());
+  }
+  info.summaries = std::move(summaries);
+  return info;
+}
+
+}  // namespace wrl

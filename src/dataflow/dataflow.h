@@ -1,0 +1,96 @@
+// Static-analysis framework over the lifted text of an EWO object: a
+// generic backward gen/kill worklist solver plus interprocedural register
+// liveness built on it.
+//
+// Liveness answers, for every text word of the *original* (uninstrumented)
+// object, "which registers may be read before they are next written on some
+// execution path starting here?".  Epoxie's scavenging rewriter consumes it
+// to elide the header `sw ra` save where `$ra` is provably dead at a block
+// leader and to redirect shadow windows through provably dead scratch
+// registers; the static dilation predictor (dilation.h) reuses the same lift.
+//
+// The abstract semantics are deliberately exact and closed — the wrlverify
+// liveness-proof pass reimplements them independently (no shared analysis
+// code) and both must converge to the same least fixpoint:
+//
+//   * A control-transfer instruction and its delay slot form one
+//     execution-ordered unit: pair-in = cti-use ∪ (slot-in ∖ cti-def).
+//   * Conditional branches flow to both the (label) target and the
+//     fall-through word after the slot.
+//   * `j` to a symbol the object defines flows there; an external `j`,
+//     a `jr` through anything (return or jump table), a syscall/break,
+//     an undecodable word, an edge that leaves the text, and an edge that
+//     lands on a delay-slot word all assume ALL registers live — the
+//     conservative joins for indirect calls, `jr` tables, and exception
+//     entry points.
+//   * `jal`/`jalr` apply a callee summary (U = may-use, D = must-define):
+//     live-after-slot = U ∪ (live-at-continuation ∖ D).  External or
+//     unresolvable callees use the conservative (U, D) = (ALL, ∅); `jal`
+//     itself kills `$ra`.
+//   * Local callee summaries are an outer fixpoint over two solves of the
+//     same equation system differing only in the value assumed live after a
+//     `jr $ra` return: U from the system with return-out = ∅ (what the body
+//     reads before writing), D from the system with return-out = ALL
+//     (complement of entry liveness = registers written on every path
+//     before any read or return).  Summaries start optimistic
+//     (U = ∅, D = ALL) and iterate monotonically to fixpoint.
+#ifndef WRLTRACE_DATAFLOW_DATAFLOW_H_
+#define WRLTRACE_DATAFLOW_DATAFLOW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "obj/object_file.h"
+
+namespace wrl {
+
+// Register-set bitmask, bit n = register n.  kAllRegs is the conservative
+// top ("assume everything live").
+constexpr uint32_t kAllRegs = 0xffffffffu;
+
+constexpr uint32_t kNoDfNode = 0xffffffffu;
+
+// One node of a backward gen/kill equation system.  Nodes here never need
+// more than two control successors (branch target + fall-through); other
+// flow (off the end of text, indirect) is folded into `top_out`.
+struct DfNode {
+  uint32_t gen = 0;      // Registers read by the node (before its writes).
+  uint32_t kill = 0;     // Registers written by the node.
+  uint32_t top_out = 0;  // Unconditional out-contribution (kAllRegs = top).
+  uint32_t succ[2] = {kNoDfNode, kNoDfNode};
+};
+
+// Solves out[n] = top_out[n] ∪ ⋃ in[succ]; in[n] = gen[n] ∪ (out[n] ∖
+// kill[n]) to the least fixpoint with a predecessor-driven worklist.
+// Returns in[] per node.
+std::vector<uint32_t> SolveBackwardLiveness(const std::vector<DfNode>& nodes);
+
+// Summary of one local callee: `may_use` = registers some path reads before
+// writing; `must_def` = registers every path writes before reading or
+// returning.  The conservative unknown-callee summary is (kAllRegs, 0).
+struct CallSummary {
+  uint32_t may_use = kAllRegs;
+  uint32_t must_def = 0;
+};
+
+struct LivenessInfo {
+  // live_in[i]: registers possibly read before written on some path from
+  // text word i.  For a CTI word this is the pair-entry value (CTI plus
+  // delay slot as a unit).
+  std::vector<uint32_t> live_in;
+  // Final summaries of local `jal` targets, keyed by entry word index.
+  std::unordered_map<uint32_t, CallSummary> summaries;
+
+  uint32_t LiveIn(uint32_t word_index) const {
+    return word_index < live_in.size() ? live_in[word_index] : kAllRegs;
+  }
+};
+
+// Interprocedural register liveness over `obj`'s text (see file comment for
+// the exact semantics).  Cost is a handful of linear worklist solves.
+LivenessInfo ComputeLiveness(const ObjectFile& obj);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_DATAFLOW_DATAFLOW_H_

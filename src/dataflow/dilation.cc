@@ -1,0 +1,79 @@
+#include "dataflow/dilation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dataflow/dataflow.h"
+
+namespace wrl {
+
+DilationPrediction PredictDilation(const ObjectFile& original, const InstrumentResult& result) {
+  DilationPrediction out;
+  // Procedure buckets: global text symbols of the original object, by
+  // ascending offset (ties keep the first name, deterministically).
+  std::vector<std::pair<uint32_t, std::string>> syms;
+  for (const Symbol& s : original.symbols) {
+    if (s.global && s.section == SectionId::kText) {
+      syms.emplace_back(s.value, s.name);
+    }
+  }
+  std::sort(syms.begin(), syms.end());
+  syms.erase(std::unique(syms.begin(), syms.end(),
+                         [](const auto& a, const auto& b) { return a.first == b.first; }),
+             syms.end());
+
+  const LivenessInfo live = ComputeLiveness(original);
+  constexpr uint32_t kRaBit = 1u << 31;
+
+  out.procs.reserve(syms.size() + 1);
+  auto proc_for = [&](uint32_t orig_offset) -> ProcDilation& {
+    // Last symbol at or below the block leader; "[unknown]" when none.
+    auto it = std::upper_bound(syms.begin(), syms.end(),
+                               std::make_pair(orig_offset, std::string("\x7f")));
+    std::string name = "[unknown]";
+    uint32_t addr = 0;
+    if (it != syms.begin()) {
+      --it;
+      name = it->second;
+      addr = it->first;
+    }
+    for (ProcDilation& p : out.procs) {
+      if (p.name == name && p.addr == addr) return p;
+    }
+    ProcDilation p;
+    p.name = std::move(name);
+    p.addr = addr;
+    out.procs.push_back(std::move(p));
+    return out.procs.back();
+  };
+
+  for (const BlockStatic& bs : result.blocks) {
+    BlockDilation bd;
+    bd.orig_offset = bs.orig_offset;
+    bd.num_insts = bs.num_insts;
+    bd.instr_words = bs.instr_words;
+    bd.mem_ops = static_cast<uint32_t>(bs.mem_ops.size());
+    ProcDilation& proc = proc_for(bs.orig_offset);
+    proc.blocks += 1;
+    proc.orig_insts += bd.num_insts;
+    proc.instr_words += bd.instr_words;
+    proc.mem_ops += bd.mem_ops;
+    proc.trace_words_per_visit += bd.TraceWordsPerEntry();
+    const bool ra_dead = (live.LiveIn(bs.orig_offset / 4) & kRaBit) == 0;
+    if (ra_dead) proc.ra_dead_leaders += 1;
+
+    out.orig_insts += bd.num_insts;
+    out.instr_words += bd.instr_words;
+    out.mem_ops += bd.mem_ops;
+    out.trace_words_per_visit += bd.TraceWordsPerEntry();
+    if (ra_dead) out.ra_dead_leaders += 1;
+    out.blocks.push_back(bd);
+  }
+  std::sort(out.procs.begin(), out.procs.end(),
+            [](const ProcDilation& a, const ProcDilation& b) {
+              return a.addr != b.addr ? a.addr < b.addr : a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace wrl

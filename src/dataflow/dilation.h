@@ -1,0 +1,81 @@
+// Static dilation prediction: per-procedure trace volume, instrumented-text
+// growth, and memtrace density derived purely from the original object, the
+// liveness analysis, and epoxie's exact per-block static record — no traced
+// run involved.
+//
+// The per-block figures are exact per entry by construction (epoxie records
+// `instr_words` and the memory-op list it actually emitted), so weighting
+// them with dynamic entry counts must reproduce wrlprof's OverheadInsts /
+// TraceWords reconciliation to the word — the cross-check the tests pin.
+#ifndef WRLTRACE_DATAFLOW_DILATION_H_
+#define WRLTRACE_DATAFLOW_DILATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "epoxie/epoxie.h"
+#include "obj/object_file.h"
+
+namespace wrl {
+
+// One instrumented basic block's static per-entry prediction.
+struct BlockDilation {
+  uint32_t orig_offset = 0;            // Original-text offset of the leader.
+  uint32_t num_insts = 0;              // Original instructions.
+  uint32_t instr_words = 0;            // Instrumented words it became.
+  uint32_t mem_ops = 0;
+  // Trace words one entry writes: the key plus one word per memory op.
+  uint32_t TraceWordsPerEntry() const { return 1 + mem_ops; }
+  // Epoxie-inserted instructions one entry executes.
+  uint32_t OverheadInstsPerEntry() const {
+    return instr_words > num_insts ? instr_words - num_insts : 0;
+  }
+};
+
+// Per-procedure rollup (procedures = global text symbols of the original
+// object; leading blocks before the first symbol fall into "[unknown]").
+struct ProcDilation {
+  std::string name;
+  uint32_t addr = 0;          // Original-text offset of the symbol.
+  uint32_t blocks = 0;
+  uint32_t orig_insts = 0;
+  uint32_t instr_words = 0;
+  uint32_t mem_ops = 0;
+  uint32_t trace_words_per_visit = 0;  // Σ per-block TraceWordsPerEntry().
+  // Liveness-derived: leaders where $ra is provably dead, i.e. header
+  // saves the scavenging rewriter may elide.
+  uint32_t ra_dead_leaders = 0;
+
+  double Growth() const {
+    return orig_insts == 0 ? 1.0 : static_cast<double>(instr_words) / orig_insts;
+  }
+  double MemtraceDensity() const {
+    return orig_insts == 0 ? 0.0 : static_cast<double>(mem_ops) / orig_insts;
+  }
+};
+
+struct DilationPrediction {
+  std::vector<BlockDilation> blocks;  // In result-block order.
+  std::vector<ProcDilation> procs;    // By ascending symbol address.
+  // Whole-object totals (instrumented blocks only).
+  uint64_t orig_insts = 0;
+  uint64_t instr_words = 0;
+  uint64_t mem_ops = 0;
+  uint64_t trace_words_per_visit = 0;
+  uint32_t ra_dead_leaders = 0;
+
+  double Growth() const {
+    return orig_insts == 0 ? 1.0 : static_cast<double>(instr_words) / static_cast<double>(orig_insts);
+  }
+  double MemtraceDensity() const {
+    return orig_insts == 0 ? 0.0 : static_cast<double>(mem_ops) / static_cast<double>(orig_insts);
+  }
+};
+
+// Predicts dilation for `result` = Instrument(original, ...).
+DilationPrediction PredictDilation(const ObjectFile& original, const InstrumentResult& result);
+
+}  // namespace wrl
+
+#endif  // WRLTRACE_DATAFLOW_DILATION_H_

@@ -1,10 +1,13 @@
 #include "epoxie/epoxie.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <map>
+#include <optional>
 #include <set>
 
+#include "dataflow/dataflow.h"
 #include "isa/isa.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -16,6 +19,82 @@ namespace {
 constexpr uint32_t kStolenMask = (1u << kXreg1) | (1u << kXreg2) | (1u << kXreg3);
 constexpr uint32_t kRaMask = 1u << kRa;
 constexpr uint32_t kAtMask = 1u << kAt;
+
+// Registers a scavenged window may never borrow: the constant/assembler
+// registers, the kernel scratch pair (clobbered asynchronously by any
+// exception), the stack/global conventions, $ra (clobbered by the window's
+// own trace call), and the stolen registers themselves.
+constexpr uint32_t kNeverScavenge = (1u << kZero) | (1u << kAt) | (1u << kK0) | (1u << kK1) |
+                                    (1u << kGp) | (1u << kSp) | (1u << kRa) | kStolenMask;
+
+// Scratch preference order: caller-saved temps first (most often dead),
+// then argument/value registers, then the callee-saved set.
+constexpr uint8_t kScavengeOrder[] = {kT0, kT1, kT2, kT3, kT4, kT5, kT6, kV0, kV1,
+                                      kA0, kA1, kA2, kA3, kS0, kS1, kS2, kS3, kS4,
+                                      kS5, kS6, kS7, kFp};
+
+// Identity register map with the stolen registers redirected to scavenged
+// scratch registers.
+using RegMap = std::array<uint8_t, 32>;
+
+RegMap IdentityMap() {
+  RegMap map;
+  for (size_t i = 0; i < map.size(); ++i) {
+    map[i] = static_cast<uint8_t>(i);
+  }
+  return map;
+}
+
+bool IsThreeRegAlu(Op op) {
+  switch (op) {
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kSllv:
+    case Op::kSrlv:
+    case Op::kSrav:
+    case Op::kMfhi:
+    case Op::kMthi:
+    case Op::kMflo:
+    case Op::kMtlo:
+    case Op::kMult:
+    case Op::kMultu:
+    case Op::kDiv:
+    case Op::kDivu:
+    case Op::kAdd:
+    case Op::kAddu:
+    case Op::kSub:
+    case Op::kSubu:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kNor:
+    case Op::kSlt:
+    case Op::kSltu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Re-encodes `inst` with its register fields pushed through `map` (the
+// scavenging substitution).  Immediates, shift amounts, and opcodes are
+// preserved bit-exactly, so a relocation attached to the word still patches
+// the same field.
+uint32_t RewriteRegs(const Inst& inst, const RegMap& map) {
+  if (IsThreeRegAlu(inst.op)) {
+    return EncodeRType(inst.op, map[inst.rs], map[inst.rt], map[inst.rd], inst.shamt);
+  }
+  switch (inst.op) {
+    case Op::kMfc0:
+    case Op::kMtc0:
+      return EncodeCop0(inst.op, map[inst.rt], inst.rd);
+    case Op::kLui:
+      return EncodeIType(inst.op, 0, map[inst.rt], static_cast<uint16_t>(inst.imm));
+    default:
+      return EncodeIType(inst.op, map[inst.rs], map[inst.rt], static_cast<uint16_t>(inst.imm));
+  }
+}
 
 // Builds the surrogate no-op for a memory instruction: an addiu to $zero
 // with the same base register and offset, so memtrace can decode the
@@ -71,6 +150,48 @@ class Instrumenter {
     }
     inst_new_pos_.assign(n_words_, UINT32_MAX);
     target_new_pos_.assign(n_words_ + 1, UINT32_MAX);
+    if (config_.mode == InstrumentMode::kEpoxie && config_.scavenge) {
+      live_ = ComputeLiveness(input_);
+    }
+  }
+
+  // ---- Scavenging decisions (all gated on the liveness analysis) ----
+
+  bool RaDeadAt(uint32_t index) const {
+    return live_.has_value() && (live_->LiveIn(index) & kRaMask) == 0;
+  }
+
+  // Picks one provably dead scratch register per stolen register `touched`
+  // by instruction `index`; returns nullopt (→ fall back to the spill
+  // window) unless every touched register gets a distinct scratch.
+  std::optional<RegMap> FindScavengeMap(uint32_t index, uint32_t touched) const {
+    if (!live_.has_value()) {
+      return std::nullopt;
+    }
+    const Inst& inst = insts_[index];
+    // A register is borrowable across the window iff nothing from this
+    // point on reads it before writing it, and the instruction itself
+    // neither reads nor writes it under its original name.
+    uint32_t busy = live_->LiveIn(index) | RegsRead(inst) | RegsWritten(inst) | kNeverScavenge;
+    RegMap map = IdentityMap();
+    for (uint8_t x : {kXreg1, kXreg2, kXreg3}) {
+      if ((touched & (1u << x)) == 0) {
+        continue;
+      }
+      uint8_t pick = 0;
+      for (uint8_t cand : kScavengeOrder) {
+        if ((busy & (1u << cand)) == 0) {
+          pick = cand;
+          break;
+        }
+      }
+      if (pick == 0) {
+        return std::nullopt;
+      }
+      busy |= 1u << pick;
+      map[x] = pick;
+    }
+    return map;
   }
 
   // ---- Emission helpers ----
@@ -152,6 +273,43 @@ class Instrumenter {
     }
   }
 
+  // Emits the original instruction at `index` re-registered through `map`
+  // (stolen registers replaced by their scavenged scratches).  Like
+  // EmitOriginal this records the position so the word's relocation (if
+  // any) moves with it; CTIs never reach a window, so no branch fixups.
+  void EmitSubstituted(uint32_t index, const RegMap& map) {
+    WRL_CHECK(!IsBranch(insts_[index].op));
+    inst_new_pos_[index] = static_cast<uint32_t>(out_.size());
+    Emit(RewriteRegs(insts_[index], map));
+  }
+
+  // The scavenged form of EmitWindow: the tracing state stays put in the
+  // stolen registers and the instruction runs renamed onto dead scratches,
+  // so the spill/reload protocol (two words per touched register) drops
+  // out.  Shadow slots in the bookkeeping area are still read before and
+  // written after, keeping them exact for neighboring unscavenged windows.
+  void EmitScavWindow(uint32_t index, uint32_t touched, const RegMap& map) {
+    const Inst& inst = insts_[index];
+    uint32_t reads = RegsRead(inst) & touched;
+    uint32_t writes = RegsWritten(inst) & touched;
+    if ((RegsRead(inst) | RegsWritten(inst)) & kAtMask) {
+      Fail(index, "instruction uses both $at and a stolen register");
+    }
+    EmitLoadBk();
+    for (uint8_t x : {kXreg1, kXreg2, kXreg3}) {
+      if (reads & (1u << x)) {
+        Emit(EncodeIType(Op::kLw, kAt, map[x], static_cast<uint16_t>(kBkShadow0 + 4 * StolenIndex(x))));
+      }
+    }
+    EmitSubstituted(index, map);
+    for (uint8_t x : {kXreg1, kXreg2, kXreg3}) {
+      if (writes & (1u << x)) {
+        Emit(EncodeIType(Op::kSw, kAt, map[x], static_cast<uint16_t>(kBkShadow0 + 4 * StolenIndex(x))));
+      }
+    }
+    ++result_.scavenged_windows;
+  }
+
   // Refreshes SAVED_RA after an instruction that wrote ra mid-block.
   void EmitSavedRaRefresh() {
     EmitLoadBk();
@@ -185,6 +343,37 @@ class Instrumenter {
       return;
     }
     if (base_stolen) {
+      std::optional<RegMap> map = FindScavengeMap(index, touched);
+      if (map.has_value()) {
+        // Scavenged form: load every stolen shadow the instruction reads
+        // (the base among them) into its scratch, announce through a
+        // surrogate based on the scratch — memtrace preserves everything
+        // but $ra and the stolen registers, so the scratch survives the
+        // call — then run the instruction renamed.
+        EmitLoadBk();
+        uint32_t reads = RegsRead(inst) & touched;
+        for (uint8_t x : {kXreg1, kXreg2, kXreg3}) {
+          if (reads & (1u << x)) {
+            Emit(EncodeIType(Op::kLw, kAt, (*map)[x],
+                             static_cast<uint16_t>(kBkShadow0 + 4 * StolenIndex(x))));
+          }
+        }
+        EmitJalTo(config_.memtrace_symbol);
+        Emit(MakeSurrogate(inst, (*map)[inst.rs]));
+        EmitSubstituted(index, *map);
+        uint32_t writes = RegsWritten(inst) & touched;
+        for (uint8_t x : {kXreg1, kXreg2, kXreg3}) {
+          if (writes & (1u << x)) {
+            Emit(EncodeIType(Op::kSw, kAt, (*map)[x],
+                             static_cast<uint16_t>(kBkShadow0 + 4 * StolenIndex(x))));
+          }
+        }
+        ++result_.scavenged_windows;
+        if (writes_ra) {
+          EmitSavedRaRefresh();
+        }
+        return;
+      }
       // Materialize the shadow base into $at, hand memtrace a surrogate
       // based on $at, then execute the real instruction in a window.
       EmitLoadBk();
@@ -203,7 +392,12 @@ class Instrumenter {
     EmitJalTo(config_.memtrace_symbol);
     Emit(MakeSurrogate(inst));
     if (touched != 0) {
-      EmitWindow(index, touched);
+      std::optional<RegMap> map = FindScavengeMap(index, touched);
+      if (map.has_value()) {
+        EmitScavWindow(index, touched, *map);
+      } else {
+        EmitWindow(index, touched);
+      }
     } else {
       EmitOriginal(index);
     }
@@ -217,7 +411,12 @@ class Instrumenter {
     const Inst& inst = insts_[index];
     uint32_t touched = (RegsRead(inst) | RegsWritten(inst)) & kStolenMask;
     if (touched != 0) {
-      EmitWindow(index, touched);
+      std::optional<RegMap> map = FindScavengeMap(index, touched);
+      if (map.has_value()) {
+        EmitScavWindow(index, touched, *map);
+      } else {
+        EmitWindow(index, touched);
+      }
     } else {
       EmitOriginal(index);
     }
@@ -309,8 +508,16 @@ class Instrumenter {
     return ops;
   }
 
-  void EmitEpoxieHeader(uint32_t n_trace_words) {
-    Emit(EncodeIType(Op::kSw, kXreg3, kRa, static_cast<uint16_t>(kBkSavedRa)));
+  // The Figure 2 header.  When liveness proves $ra dead at the block leader
+  // the `sw ra` save is elided: bbtrace still restores $ra from SAVED_RA in
+  // its return slot, but the (stale) value it restores is never read before
+  // the next $ra write, so the save is pure overhead.
+  void EmitEpoxieHeader(uint32_t n_trace_words, bool elide_save) {
+    if (!elide_save) {
+      Emit(EncodeIType(Op::kSw, kXreg3, kRa, static_cast<uint16_t>(kBkSavedRa)));
+    } else {
+      ++result_.elided_ra_saves;
+    }
     EmitJalTo(config_.bbtrace_symbol);
     Emit(EncodeIType(Op::kOri, kZero, kZero, static_cast<uint16_t>(n_trace_words)));
   }
@@ -353,10 +560,11 @@ class Instrumenter {
         uint32_t n_trace_words = 1 + static_cast<uint32_t>(mem_ops.size());
         WRL_CHECK_MSG(n_trace_words < 0x8000, "basic block generates too much trace");
         if (config_.mode == InstrumentMode::kEpoxie) {
-          EmitEpoxieHeader(n_trace_words);
-          // Key = return address of the jal at header_pos+1: (pos+1)+2.
+          bool elide_save = RaDeadAt(block.start);
+          EmitEpoxieHeader(n_trace_words, elide_save);
+          // Key = return address of the header's jal: two words past it.
           BlockStatic bs;
-          bs.key_offset = (header_pos + 3) * 4;
+          bs.key_offset = (header_pos + (elide_save ? 2 : 3)) * 4;
           bs.orig_offset = block.start * 4;
           bs.num_insts = block.end - block.start;
           bs.flags = block.flags;
@@ -501,6 +709,8 @@ class Instrumenter {
 
   uint32_t n_words_ = 0;
   uint32_t n_blocks_ = 0;
+  // Interprocedural liveness over the input (engaged only when scavenging).
+  std::optional<LivenessInfo> live_;
   std::vector<Inst> insts_;
   std::set<uint32_t> leaders_;
   std::map<uint32_t, uint32_t> flags_;

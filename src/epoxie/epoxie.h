@@ -39,6 +39,8 @@
 #define WRLTRACE_EPOXIE_EPOXIE_H_
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,14 @@
 namespace wrl {
 
 enum class InstrumentMode { kEpoxie, kPixie };
+
+// Liveness-driven scavenging is the default; WRL_SCAVENGE=0 forces the
+// unconditional (paper-literal) emission so the bit-identity invariant
+// stays A/B-testable.
+inline bool ScavengeEnabled() {
+  const char* env = std::getenv("WRL_SCAVENGE");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
 
 struct EpoxieConfig {
   InstrumentMode mode = InstrumentMode::kEpoxie;
@@ -59,6 +69,15 @@ struct EpoxieConfig {
   // Names of the support routines the instrumented code calls.
   std::string bbtrace_symbol = "bbtrace";
   std::string memtrace_symbol = "memtrace";
+  // Register scavenging (epoxie mode only): run interprocedural liveness
+  // over the input and (a) elide the header `sw ra` save where `$ra` is
+  // provably dead at the block leader, (b) redirect shadow windows through
+  // a provably dead scratch register instead of spilling the tracing state
+  // through $at to the bookkeeping area.  The parsed reference stream is
+  // bit-identical either way; only text growth and trace-time dilation
+  // shrink.  wrlverify's liveness-proof pass independently re-derives the
+  // safety of every elision.
+  bool scavenge = ScavengeEnabled();
 };
 
 // One memory operation within a basic block: its instruction index in the
@@ -90,6 +109,11 @@ struct InstrumentResult {
   uint32_t instrumented_text_words = 0;
   // Data-segment growth (pixie mode's translation table).
   uint32_t added_data_bytes = 0;
+  // Scavenging outcome (zero when EpoxieConfig::scavenge is off): header
+  // `sw ra` saves elided, and shadow windows redirected through a dead
+  // scratch register instead of the spill/reload protocol.
+  uint32_t elided_ra_saves = 0;
+  uint32_t scavenged_windows = 0;
 
   double TextGrowthFactor() const {
     return original_text_words == 0

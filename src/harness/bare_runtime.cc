@@ -169,6 +169,7 @@ BareBuild BuildBareTraced(std::string_view body_source, const BareBuildOptions& 
   // Instrumented image: tracing runtime + support + epoxie(body).
   EpoxieConfig epoxie_config;
   epoxie_config.mode = options.mode;
+  epoxie_config.scavenge = options.scavenge;
   build.instrument_result = Instrument(body, epoxie_config);
   ObjectFile traced_runtime = Assemble("truntime.s", TracedRuntimeAsm(options.trace_buffer_bytes));
   AddBareAbsSymbols(traced_runtime);

@@ -195,6 +195,7 @@ SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& o
   config.program_name = workload.name;
   config.files = workload.files;
   config.trace_buf_bytes = options.trace_buf_bytes;
+  config.scavenge = options.scavenge;
   config.events = events;
   if (options.personality == Personality::kMach) {
     config.policy = PagePolicy::kScrambled;

@@ -473,9 +473,12 @@ struct BuiltProgram {
   Executable traced;
   TraceInfoTable table;
   double text_growth = 1.0;  // Combined epoxie dilation across the objects.
+  uint64_t elided_ra_saves = 0;
+  uint64_t scavenged_windows = 0;
 };
 
-BuiltProgram BuildUserProgram(const std::string& name, const std::string& source, bool tracing) {
+BuiltProgram BuildUserProgram(const std::string& name, const std::string& source, bool tracing,
+                              bool scavenge) {
   BuiltProgram out;
   ObjectFile userlib = Assemble("userlib.s", UserLibAsm());
   ObjectFile prog = Assemble(name + ".s", source);
@@ -488,8 +491,11 @@ BuiltProgram BuildUserProgram(const std::string& name, const std::string& source
     return out;
   }
   EpoxieConfig econfig;
+  econfig.scavenge = scavenge;
   InstrumentResult ilib = Instrument(userlib, econfig);
   InstrumentResult iprog = Instrument(prog, econfig);
+  out.elided_ra_saves = ilib.elided_ra_saves + iprog.elided_ra_saves;
+  out.scavenged_windows = ilib.scavenged_windows + iprog.scavenged_windows;
   ObjectFile support = Assemble("support.s", TraceSupportAsm());
   ObjectFile abs = MakeUserAbsSymbols();
   LinkOptions traced_opts;
@@ -528,8 +534,11 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
 
   if (config.tracing) {
     EpoxieConfig econfig;
+    econfig.scavenge = config.scavenge;
     InstrumentResult ikernel = Instrument(kernel_obj, econfig);
     sys.kernel_text_growth_ = ikernel.TextGrowthFactor();
+    sys.elided_ra_saves_ += ikernel.elided_ra_saves;
+    sys.scavenged_windows_ += ikernel.scavenged_windows;
     sys.kernel_exe_ = Link({ikernel.object, support}, kopts);
     sys.kernel_table_.AddObject(ikernel.blocks, sys.kernel_exe_.object_text_bases[0],
                                 kernel_orig.object_text_bases[0]);
@@ -546,19 +555,23 @@ std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config) {
   // ---- User programs ----
   bool mach = config.personality == Personality::kMach;
   BuiltProgram workload = BuildUserProgram(config.program_name, config.program_source,
-                                           config.tracing);
+                                           config.tracing, config.scavenge);
   sys.workload_orig_ = workload.orig;
   sys.workload_exe_ = config.tracing ? workload.traced : workload.orig;
   sys.user_table_ = std::move(workload.table);
   sys.workload_text_growth_ = workload.text_growth;
+  sys.elided_ra_saves_ += workload.elided_ra_saves;
+  sys.scavenged_windows_ += workload.scavenged_windows;
 
   BuiltProgram server;
   if (mach) {
-    server = BuildUserProgram("server", ServerAsm(), config.tracing);
+    server = BuildUserProgram("server", ServerAsm(), config.tracing, config.scavenge);
     sys.server_orig_ = server.orig;
     sys.server_exe_ = config.tracing ? server.traced : server.orig;
     sys.server_table_ = std::move(server.table);
     sys.server_text_growth_ = server.text_growth;
+    sys.elided_ra_saves_ += server.elided_ra_saves;
+    sys.scavenged_windows_ += server.scavenged_windows;
   }
 
   // ---- Machine ----
@@ -820,6 +833,8 @@ void SystemInstance::RegisterStats(StatsRegistry& registry, const std::string& p
                       [this] { return kernel_text_growth_; });
     registry.AddGauge(prefix + "epoxie.workload_text_growth",
                       [this] { return workload_text_growth_; });
+    registry.AddCounter(prefix + "epoxie.elided_ra_saves", &elided_ra_saves_);
+    registry.AddCounter(prefix + "epoxie.scavenged_windows", &scavenged_windows_);
     if (config_.personality == Personality::kMach) {
       registry.AddGauge(prefix + "epoxie.server_text_growth",
                         [this] { return server_text_growth_; });

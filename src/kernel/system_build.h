@@ -46,6 +46,11 @@ struct SystemConfig {
   uint32_t policy_mult = 9;  // Odd multiplier for the scrambled permutation.
   uint32_t trace_buf_bytes = 8u << 20;
   uint32_t analysis_cycles_per_word = 20;
+  // Liveness-driven scavenging in epoxie (header `sw ra` elision, shadow
+  // windows through dead scratch registers).  The reconstructed reference
+  // stream and every prediction are bit-identical either way; only the
+  // instrumented text growth (and thus dilation) changes.
+  bool scavenge = ScavengeEnabled();
   // The workload program (defines `main`).  Under Mach a UNIX-server
   // process is added automatically as pid 2.
   std::string program_source;
@@ -123,6 +128,10 @@ class SystemInstance {
   // Epoxie text growth of the instrumented images (1.0 when untraced).
   double kernel_text_growth() const { return kernel_text_growth_; }
   double workload_text_growth() const { return workload_text_growth_; }
+  // Scavenging outcome summed over every instrumented object (zero when
+  // untraced or SystemConfig::scavenge is off).
+  uint64_t elided_ra_saves() const { return elided_ra_saves_; }
+  uint64_t scavenged_windows() const { return scavenged_windows_; }
 
  private:
   friend std::unique_ptr<SystemInstance> BuildSystem(const SystemConfig& config);
@@ -150,6 +159,8 @@ class SystemInstance {
   double kernel_text_growth_ = 1.0;
   double workload_text_growth_ = 1.0;
   double server_text_growth_ = 1.0;
+  uint64_t elided_ra_saves_ = 0;
+  uint64_t scavenged_windows_ = 0;
 
   struct ProcLayout {
     uint32_t region_base_page = 0;

@@ -30,6 +30,7 @@ const char* VerifyPassName(VerifyPass pass) {
     case VerifyPass::kLiveness: return "liveness";
     case VerifyPass::kRelocation: return "relocation";
     case VerifyPass::kTraceTable: return "tracetable";
+    case VerifyPass::kScavenge: return "scavenge";
   }
   return "?";
 }
@@ -94,6 +95,7 @@ void VerifyReport::WriteJson(JsonWriter& writer) const {
     writer.KV("pass", VerifyPassName(f.pass));
     writer.KV("pc", StrFormat("0x%08x", f.pc));
     writer.KV("block", static_cast<int64_t>(f.block));
+    writer.KV("symbol", f.symbol);
     writer.KV("message", f.message);
     writer.EndObject();
   }
@@ -116,6 +118,8 @@ enum class WordClass : uint8_t {
   kShadowStore,        // sw xN, SHADOW_N($at)
   kShadowMaterialize,  // lw at, SHADOW_N($at)  (stolen base for memtrace)
   kRefreshStore,       // sw ra, SAVED_RA($at)  (SAVED_RA refresh tail)
+  kScavShadowLoad,     // lw rD, SHADOW_N($at), rD a scavenged scratch
+  kScavShadowStore,    // sw rD, SHADOW_N($at), rD a scavenged scratch
 };
 
 bool IsSpillOffset(int16_t imm, unsigned* index) {
@@ -145,6 +149,182 @@ uint8_t StolenByIndex(unsigned index) {
 constexpr uint32_t kStolenMask = (1u << kXreg1) | (1u << kXreg2) | (1u << kXreg3);
 constexpr uint32_t kRaMask = 1u << kRa;
 
+// Registers a scavenged window must never borrow: the constant/assembler
+// registers, the kernel scratch pair, stack/global conventions, $ra, and
+// the stolen set itself.  (Independent restatement of the rewriter's rule.)
+constexpr uint32_t kScratchForbidden = (1u << kZero) | (1u << kAt) | (1u << kK0) |
+                                       (1u << kK1) | (1u << kGp) | (1u << kSp) |
+                                       (1u << kRa) | kStolenMask;
+
+// Independent recomputation of the interprocedural register liveness that
+// justifies epoxie's scavenging rewrites.  This is deliberately NOT the
+// src/dataflow solver: it re-derives the same abstract semantics (the
+// contract pinned in dataflow/dataflow.h's file comment) by round-robin
+// sweeps directly over the instruction array, sharing no analysis code with
+// the optimizer.  Both compute the unique least fixpoint of the same
+// equation system, so a legitimate rewrite verifies cleanly and any
+// disagreement is a genuine finding.
+class RefLiveness {
+ public:
+  explicit RefLiveness(const ObjectFile& obj) : n_(obj.NumTextWords()) {
+    insts_.reserve(n_);
+    for (uint32_t i = 0; i < n_; ++i) {
+      insts_.push_back(Decode(obj.TextWord(i * 4)));
+    }
+    slot_.assign(n_, false);
+    for (uint32_t i = 0; i + 1 < n_; ++i) {
+      if (!slot_[i] && HasDelaySlot(insts_[i].op)) {
+        slot_[i + 1] = true;
+      }
+    }
+    std::map<std::string, uint32_t> text_syms;
+    for (const Symbol& s : obj.symbols) {
+      if (s.section == SectionId::kText && s.value % 4 == 0 && s.value / 4 < n_) {
+        text_syms.emplace(s.name, s.value / 4);
+      }
+    }
+    for (const Relocation& r : obj.relocations) {
+      if (r.section != SectionId::kText || r.type != RelocType::kJump26 ||
+          r.offset % 4 != 0 || r.addend != 0) {
+        continue;
+      }
+      auto it = text_syms.find(r.symbol);
+      if (it != text_syms.end() && !slot_[it->second]) {
+        target_of_.emplace(r.offset / 4, it->second);
+      }
+    }
+    // Local callees: resolvable jal sites outside delay slots.
+    std::map<uint32_t, Summary> sums;
+    for (const auto& [w, entry] : target_of_) {
+      if (insts_[w].op == Op::kJal && !slot_[w]) {
+        sums.emplace(entry, Summary{0, kAll});
+      }
+    }
+    std::vector<uint32_t> in_all;
+    // The outer summary iteration is monotone and bounded (each of ≤32 bits
+    // per summary side flips at most once); the cap is a defensive backstop
+    // that degrades to "everything live" (sound: it can only over-report).
+    for (int round = 0; round < 4096; ++round) {
+      std::vector<uint32_t> in_none = Sweep(0, sums);
+      in_all = Sweep(kAll, sums);
+      bool changed = false;
+      for (auto& [entry, sum] : sums) {
+        const Summary next{in_none[entry], ~in_all[entry]};
+        if (next.use != sum.use || next.def != sum.def) {
+          sum = next;
+          changed = true;
+        }
+      }
+      if (!changed) {
+        in_ = std::move(in_all);
+        return;
+      }
+    }
+    in_.assign(n_, kAll);
+  }
+
+  uint32_t LiveIn(uint32_t word) const { return word < in_.size() ? in_[word] : kAll; }
+
+ private:
+  static constexpr uint32_t kAll = 0xffffffffu;
+  struct Summary {
+    uint32_t use;  // May be read before written on some path.
+    uint32_t def;  // Written on every path before any read or return.
+  };
+
+  static bool Opaque(const Inst& a) {
+    return a.op == Op::kInvalid || a.op == Op::kSyscall || a.op == Op::kBreak;
+  }
+
+  // in[] at an edge to word `t`; edges off-text or onto a delay-slot word
+  // degrade to top.
+  uint32_t Edge(const std::vector<uint32_t>& in, int64_t t) const {
+    if (t < 0 || t >= static_cast<int64_t>(n_) || slot_[static_cast<uint32_t>(t)]) {
+      return kAll;
+    }
+    return in[static_cast<uint32_t>(t)];
+  }
+
+  // Value live immediately after the CTI+slot pair at `i` (between the
+  // slot's execution and the transfer's destination side effects).
+  uint32_t OutAfterPair(uint32_t i, const std::vector<uint32_t>& in, uint32_t return_top,
+                        const std::map<uint32_t, Summary>& sums) const {
+    const Inst& a = insts_[i];
+    if (IsBranch(a.op)) {
+      return Edge(in, static_cast<int64_t>(i) + 1 + a.imm) | Edge(in, static_cast<int64_t>(i) + 2);
+    }
+    if (a.op == Op::kJ) {
+      auto it = target_of_.find(i);
+      return it == target_of_.end() ? kAll : Edge(in, it->second);
+    }
+    if (a.op == Op::kJr) {
+      return a.rs == kRa ? return_top : kAll;
+    }
+    // jal / jalr: callee transfer U ∪ (continuation ∖ D); unknown callees
+    // use the conservative (ALL, ∅).
+    uint32_t use = kAll;
+    uint32_t def = 0;
+    if (a.op == Op::kJal) {
+      auto it = target_of_.find(i);
+      if (it != target_of_.end()) {
+        auto sit = sums.find(it->second);
+        if (sit != sums.end()) {
+          use = sit->second.use;
+          def = sit->second.def;
+        }
+      }
+    }
+    return use | (Edge(in, static_cast<int64_t>(i) + 2) & ~def);
+  }
+
+  // One full solve of the equation system for a fixed `jr $ra` out-value,
+  // by repeated descending sweeps to the least fixpoint.
+  std::vector<uint32_t> Sweep(uint32_t return_top, const std::map<uint32_t, Summary>& sums) const {
+    std::vector<uint32_t> in(n_, 0);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t i = n_; i-- > 0;) {
+        if (slot_[i]) {
+          continue;  // Written when its CTI is evaluated.
+        }
+        const Inst& a = insts_[i];
+        uint32_t v;
+        if (Opaque(a)) {
+          v = kAll;  // Exception entry / undecodable: everything live.
+        } else if (HasDelaySlot(a.op)) {
+          if (i + 1 >= n_ || HasDelaySlot(insts_[i + 1].op)) {
+            v = kAll;  // Truncated pair or CTI in the slot: give up.
+          } else {
+            const Inst& s = insts_[i + 1];
+            const uint32_t after = OutAfterPair(i, in, return_top, sums);
+            const uint32_t slot_in =
+                Opaque(s) ? kAll : (RegsRead(s) | (after & ~RegsWritten(s)));
+            if (slot_in != in[i + 1]) {
+              in[i + 1] = slot_in;
+              changed = true;
+            }
+            v = RegsRead(a) | (slot_in & ~RegsWritten(a));
+          }
+        } else {
+          v = RegsRead(a) | (Edge(in, static_cast<int64_t>(i) + 1) & ~RegsWritten(a));
+        }
+        if (v != in[i]) {
+          in[i] = v;
+          changed = true;
+        }
+      }
+    }
+    return in;
+  }
+
+  uint32_t n_;
+  std::vector<Inst> insts_;
+  std::vector<bool> slot_;
+  std::map<uint32_t, uint32_t> target_of_;  // j/jal word -> local entry word.
+  std::vector<uint32_t> in_;
+};
+
 // Abstract state of one stolen register inside a block (liveness pass).
 enum class StolenState : uint8_t {
   kTrace,    // Holds live tracing state; original code must not touch it.
@@ -166,13 +346,18 @@ class ObjectVerifier {
       LivenessPass();
       RelocationPass();
       TraceTablePass();
+      ScavengePass();
     }
     return std::move(report_);
   }
 
  private:
-  // Header length in words for the current mode.
+  // Header length in words for the current mode (full, non-elided form).
   unsigned HeaderWords() const { return pixie_ ? 11 : 3; }
+  // Raw encoding of the header 'sw ra, SAVED_RA(xreg3)' save word.
+  static uint32_t HeaderSaveRaw() {
+    return EncodeIType(Op::kSw, kXreg3, kRa, static_cast<uint16_t>(kBkSavedRa));
+  }
 
   void Add(VerifySeverity severity, VerifyPass pass, uint32_t word_pos, int32_t block,
            std::string message) {
@@ -181,6 +366,9 @@ class ObjectVerifier {
     f.pass = pass;
     f.pc = opt_.text_base + word_pos * 4;
     f.block = block;
+    if (block >= 0 && static_cast<size_t>(block) < blocks_.size()) {
+      f.symbol = SymbolForOrig(blocks_[block].start);
+    }
     f.message = std::move(message);
     if (severity == VerifySeverity::kError) {
       ++report_.stats.errors;
@@ -273,9 +461,26 @@ class ObjectVerifier {
       blocks_[bi].info = it == info_by_orig_.end() ? nullptr : it->second;
     }
 
+    // Global text symbols of the original object, for attributing findings
+    // to their owning procedure (the way wrlprof symbolizes blocks).
+    for (const Symbol& s : orig_.symbols) {
+      if (s.global && s.section == SectionId::kText && s.value % 4 == 0) {
+        syms_.emplace_back(s.value / 4, s.name);
+      }
+    }
+    std::sort(syms_.begin(), syms_.end());
+
     orig_pos_.assign(n_orig_, UINT32_MAX);
     lifts_.assign(blocks_.size(), BlockLift{});
     setup_ok_ = true;
+  }
+
+  // Owning procedure of original word `w`: the last global text symbol at
+  // or below it; "" when none precedes.
+  std::string SymbolForOrig(uint32_t w) const {
+    auto it = std::upper_bound(syms_.begin(), syms_.end(),
+                               std::make_pair(w, std::string("\x7f")));
+    return it == syms_.begin() ? std::string() : std::prev(it)->second;
   }
 
   const Relocation* SoleReloc(uint32_t q, RelocType type) const {
@@ -331,6 +536,11 @@ class ObjectVerifier {
         *stolen = in.rt;
         return WordClass::kShadowStore;
       }
+      if (!IsStolenReg(in.rt) && in.rt != kRa && in.rt != kAt && in.rt != kZero &&
+          IsShadowOffset(in.imm, &index)) {
+        *stolen = StolenByIndex(index);
+        return WordClass::kScavShadowStore;
+      }
     }
     if (in.op == Op::kLw && in.rs == kAt) {
       if (IsStolenReg(in.rt) && IsSpillOffset(in.imm, &index) &&
@@ -346,6 +556,11 @@ class ObjectVerifier {
       if (in.rt == kAt && IsShadowOffset(in.imm, &index)) {
         *stolen = StolenByIndex(index);
         return WordClass::kShadowMaterialize;
+      }
+      if (!IsStolenReg(in.rt) && in.rt != kRa && in.rt != kZero &&
+          IsShadowOffset(in.imm, &index)) {
+        *stolen = StolenByIndex(index);
+        return WordClass::kScavShadowLoad;
       }
     }
     return WordClass::kProgram;
@@ -375,7 +590,13 @@ class ObjectVerifier {
     uint32_t header_n = 0;             // Trace-word count in the header.
     uint32_t actual_mem_ops = 0;       // Memory ops seen in the walk.
     bool walked = false;               // Lift completed without divergence.
+    bool save_elided = false;          // Header lacks the 'sw ra' save word.
   };
+
+  // Actual header length of one lifted block.
+  unsigned HeaderWordsFor(const BlockLift& lift) const {
+    return pixie_ ? 11u : (lift.save_elided ? 2u : 3u);
+  }
 
   // Matches instrumented word `q` against original instruction `i`.
   // Branches compare everything but the (retargeted) immediate.
@@ -428,7 +649,11 @@ class ObjectVerifier {
   }
 
   // Consumes the pending announcement for memory instruction `i` at `q`.
-  void ConsumeAnnounce(std::optional<Announce>& pending, uint32_t q, uint32_t i, int32_t bi) {
+  // `scav` (when non-null) maps StolenIndex -> scavenged scratch register
+  // (-1 = unmapped) for a substituted instruction, whose stolen base is
+  // announced through the scratch rather than a $at materialization.
+  void ConsumeAnnounce(std::optional<Announce>& pending, uint32_t q, uint32_t i, int32_t bi,
+                       const int* scav = nullptr) {
     ++report_.stats.mem_ops;
     const Inst& mem = oinsts_[i];
     if (!pending.has_value()) {
@@ -440,8 +665,10 @@ class ObjectVerifier {
     const Announce& a = *pending;
     bool base_ok = false;
     if (IsStolenReg(mem.rs)) {
-      base_ok = a.base == kAt && a.shadow_reg == mem.rs;
-      if (a.base == kAt && a.shadow_reg != mem.rs) {
+      const int scratch = scav == nullptr ? -1 : scav[StolenIndex(mem.rs)];
+      base_ok = (a.base == kAt && a.shadow_reg == mem.rs) ||
+                (scratch >= 0 && a.base == scratch);
+      if (!base_ok && a.base == kAt && a.shadow_reg != mem.rs) {
         Err(VerifyPass::kShape, a.pc, bi,
             StrFormat("surrogate materializes the shadow of $%s but the memory instruction "
                       "is based on $%s",
@@ -467,21 +694,30 @@ class ObjectVerifier {
   bool MatchHeader(size_t bi) {
     const Block& b = blocks_[bi];
     BlockLift& lift = lifts_[bi];
-    unsigned need = HeaderWords();
-    if (q_ + need > n_inst_) {
+    if (q_ >= n_inst_) {
       Err(VerifyPass::kShape, q_, static_cast<int32_t>(bi),
           "instrumented text ends inside a block header");
       return false;
     }
     uint32_t p = q_;
-    const uint32_t header_save = EncodeIType(Op::kSw, kXreg3, kRa, static_cast<uint16_t>(kBkSavedRa));
-    if (iinsts_[p].raw != header_save) {
+    if (iinsts_[p].raw == HeaderSaveRaw()) {
+      ++p;
+    } else if (pixie_) {
       Err(VerifyPass::kShape, p, static_cast<int32_t>(bi),
           StrFormat("block header word 0 is '%s', expected 'sw ra, SAVED_RA(xreg3)'",
                     DisassembleWord(iinsts_[p].raw, p * 4).c_str()));
       return false;
+    } else {
+      // Scavenged (elided-save) header: the word must then be the jal
+      // itself; the scavenge pass proves $ra dead at this leader.
+      lift.save_elided = true;
     }
-    ++p;
+    const unsigned need = HeaderWordsFor(lift);
+    if (q_ + need > n_inst_) {
+      Err(VerifyPass::kShape, q_, static_cast<int32_t>(bi),
+          "instrumented text ends inside a block header");
+      return false;
+    }
     if (pixie_) {
       // lui/ori $at against the translation table, lw $at, 0($at).
       const Relocation* hi = SoleReloc(p, RelocType::kHi16);
@@ -558,6 +794,98 @@ class ObjectVerifier {
     return true;
   }
 
+  // Re-encodes original instruction `o` with its stolen register fields
+  // renamed through `m` (indexed by StolenIndex, -1 = identity).  Written
+  // against the shared ISA encoders only — deliberately independent of the
+  // rewriter's own substitution code.
+  static uint32_t RenameStolen(const Inst& o, const int m[3]) {
+    auto ren = [&](uint8_t r) -> uint8_t {
+      if (IsStolenReg(r) && m[StolenIndex(r)] >= 0) {
+        return static_cast<uint8_t>(m[StolenIndex(r)]);
+      }
+      return r;
+    };
+    switch (o.op) {
+      case Op::kSll:
+      case Op::kSrl:
+      case Op::kSra:
+      case Op::kSllv:
+      case Op::kSrlv:
+      case Op::kSrav:
+      case Op::kMfhi:
+      case Op::kMthi:
+      case Op::kMflo:
+      case Op::kMtlo:
+      case Op::kMult:
+      case Op::kMultu:
+      case Op::kDiv:
+      case Op::kDivu:
+      case Op::kAdd:
+      case Op::kAddu:
+      case Op::kSub:
+      case Op::kSubu:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kNor:
+      case Op::kSlt:
+      case Op::kSltu:
+        return EncodeRType(o.op, ren(o.rs), ren(o.rt), ren(o.rd), o.shamt);
+      case Op::kMfc0:
+      case Op::kMtc0:
+        return EncodeCop0(o.op, ren(o.rt), o.rd);
+      case Op::kLui:
+        return EncodeIType(o.op, 0, ren(o.rt), static_cast<uint16_t>(o.imm));
+      default:
+        return EncodeIType(o.op, ren(o.rs), ren(o.rt), static_cast<uint16_t>(o.imm));
+    }
+  }
+
+  // True when instrumented word `q` is exactly original instruction `i`
+  // with stolen register fields renamed onto scratches; fills `subst`
+  // (indexed by StolenIndex, -1 = untouched).  The map is inferred from
+  // the differing register fields and then validated by re-encoding.
+  bool TryMatchSubstituted(uint32_t q, uint32_t i, int subst[3]) const {
+    const Inst& o = oinsts_[i];
+    const Inst& w = iinsts_[q];
+    subst[0] = subst[1] = subst[2] = -1;
+    if (o.op != w.op || o.op == Op::kInvalid || HasDelaySlot(o.op) || IsBranch(o.op)) {
+      return false;
+    }
+    if (((RegsRead(o) | RegsWritten(o)) & kStolenMask) == 0) {
+      return false;  // Nothing to scavenge; the verbatim match already failed.
+    }
+    auto field = [&](uint8_t oreg, uint8_t wreg) {
+      if (oreg == wreg) {
+        return true;
+      }
+      if (!IsStolenReg(oreg)) {
+        return false;
+      }
+      int& slot = subst[StolenIndex(oreg)];
+      if (slot < 0) {
+        slot = wreg;
+      }
+      return slot == wreg;
+    };
+    if (!field(o.rs, w.rs) || !field(o.rt, w.rt) || !field(o.rd, w.rd)) {
+      return false;
+    }
+    if (subst[0] < 0 && subst[1] < 0 && subst[2] < 0) {
+      return false;
+    }
+    return RenameStolen(o, subst) == w.raw;
+  }
+
+  // One substituted (register-scavenged) instruction seen in the walk; the
+  // scavenge pass proves each scratch dead from independent liveness.
+  struct ScavUse {
+    uint32_t inst_pos;    // Instrumented word of the substituted instruction.
+    uint32_t orig_index;  // Original word index.
+    int32_t block;
+    int subst[3];         // StolenIndex -> scratch register, -1 = untouched.
+  };
+
   // Walks one block; returns false on divergence (the caller resyncs).
   bool WalkBlock(size_t bi) {
     const Block& b = blocks_[bi];
@@ -589,6 +917,19 @@ class ObjectVerifier {
     std::optional<Announce> pending;
     int last_at_shadow = -1;       // Stolen register whose shadow sits in $at.
     uint32_t ra_write_pc = UINT32_MAX;  // Original inst that wrote ra, awaiting refresh.
+    int scav_map[3] = {-1, -1, -1};  // StolenIndex -> scratch loaded this window.
+    uint32_t scav_store_due = 0;     // StolenIndex bits awaiting a shadow write-back.
+    uint32_t scav_store_q = 0;       // Where the write-back obligation arose.
+
+    auto scav_window_reset = [&](uint32_t at_q) {
+      if (scav_store_due != 0) {
+        Err(VerifyPass::kScavenge, scav_store_q == 0 ? at_q : scav_store_q, bn,
+            "scavenged write was not stored back to its shadow slot before the "
+            "window closed");
+        scav_store_due = 0;
+      }
+      scav_map[0] = scav_map[1] = scav_map[2] = -1;
+    };
 
     auto refresh_due = [&](uint32_t at_q) {
       if (ra_write_pc != UINT32_MAX) {
@@ -719,6 +1060,7 @@ class ObjectVerifier {
         case WordClass::kBkLui:
         case WordClass::kBkOri:
           last_at_shadow = -1;
+          scav_window_reset(q_);
           ++q_;
           continue;
         case WordClass::kShadowMaterialize:
@@ -732,17 +1074,71 @@ class ObjectVerifier {
           // Protocol order is the liveness pass's business.
           ++q_;
           continue;
+        case WordClass::kScavShadowLoad:
+          scav_map[StolenIndex(stolen)] = iinsts_[q_].rt;
+          ++q_;
+          continue;
+        case WordClass::kScavShadowStore: {
+          const unsigned x = StolenIndex(stolen);
+          if ((scav_store_due & (1u << x)) == 0 || scav_map[x] != iinsts_[q_].rt) {
+            Err(VerifyPass::kScavenge, q_, bn,
+                StrFormat("shadow write-back of $%s through $%s matches no scavenged "
+                          "write in this window",
+                          RegName(stolen), RegName(iinsts_[q_].rt)));
+          }
+          scav_store_due &= ~(1u << x);
+          ++q_;
+          continue;
+        }
         case WordClass::kRefreshStore:
           ra_write_pc = UINT32_MAX;
           ++q_;
           continue;
-        default:
+        default: {
+          int subst[3];
+          if (TryMatchSubstituted(q_, i, subst)) {
+            refresh_due(q_);
+            const Inst& o = oinsts_[i];
+            for (unsigned x = 0; x < 3; ++x) {
+              if (subst[x] < 0) {
+                continue;
+              }
+              const uint8_t sreg = StolenByIndex(x);
+              if ((RegsRead(o) & (1u << sreg)) && scav_map[x] != subst[x]) {
+                Err(VerifyPass::kScavenge, q_, bn,
+                    StrFormat("scavenged read of $%s through $%s without a shadow load "
+                              "into it",
+                              RegName(sreg), RegName(static_cast<uint8_t>(subst[x]))));
+              }
+              if (RegsWritten(o) & (1u << sreg)) {
+                scav_map[x] = subst[x];
+                scav_store_due |= 1u << x;
+                scav_store_q = q_;
+              }
+            }
+            scav_uses_.push_back(ScavUse{q_, i, bn, {subst[0], subst[1], subst[2]}});
+            RecordOriginal(q_, i);
+            if (MemAccessBytes(o.op) != 0) {
+              ConsumeAnnounce(pending, q_, i, bn, subst);
+            } else if (pending.has_value()) {
+              Err(VerifyPass::kShape, pending->pc, bn,
+                  "memtrace announcement not followed by its memory instruction");
+              pending.reset();
+            }
+            if (RegsWritten(o) & kRaMask) {
+              ra_write_pc = q_;
+            }
+            ++i;
+            ++q_;
+            continue;
+          }
           Err(VerifyPass::kShape, q_, bn,
               StrFormat("instrumented text diverges from the original block: found '%s', "
                         "expected '%s'",
                         DisassembleWord(iinsts_[q_].raw, q_ * 4).c_str(),
                         Disassemble(oinsts_[i], i * 4).c_str()));
           return false;
+        }
       }
     }
 
@@ -758,13 +1154,23 @@ class ObjectVerifier {
       if (cls == WordClass::kRefreshStore) {
         ra_write_pc = UINT32_MAX;
       }
+      if (cls == WordClass::kScavShadowStore) {
+        const unsigned x = StolenIndex(stolen);
+        if ((scav_store_due & (1u << x)) == 0 || scav_map[x] != iinsts_[q_].rt) {
+          Err(VerifyPass::kScavenge, q_, bn,
+              StrFormat("shadow write-back of $%s through $%s matches no scavenged "
+                        "write in this window",
+                        RegName(stolen), RegName(iinsts_[q_].rt)));
+        }
+        scav_store_due &= ~(1u << x);
+      }
       // A bare 'sw ra, SAVED_RA(xreg3)' here is the next block's header.
-      if (iinsts_[q_].raw ==
-          EncodeIType(Op::kSw, kXreg3, kRa, static_cast<uint16_t>(kBkSavedRa))) {
+      if (iinsts_[q_].raw == HeaderSaveRaw()) {
         break;
       }
       ++q_;
     }
+    scav_window_reset(q_ == 0 ? 0 : q_ - 1);
     if (pending.has_value()) {
       Err(VerifyPass::kShape, pending->pc, bn,
           "memtrace announcement not followed by its memory instruction");
@@ -802,9 +1208,25 @@ class ObjectVerifier {
         bool found = false;
         for (; bj < blocks_.size(); ++bj) {
           const BlockStatic* info = blocks_[bj].info;
-          if (info != nullptr && info->key_offset / 4 >= HeaderWords() &&
-              info->key_offset / 4 - HeaderWords() < n_inst_) {
-            q_ = info->key_offset / 4 - HeaderWords();
+          if (info == nullptr || info->key_offset % 4 != 0) {
+            continue;
+          }
+          const uint32_t j = info->key_offset / 4;
+          // The key points two words past the jal; the header starts one
+          // word earlier still when the 'sw ra' save is present (epoxie) or
+          // at j-11 (pixie).
+          if (pixie_) {
+            if (j >= 11 && j - 11 < n_inst_) {
+              q_ = j - 11;
+              found = true;
+              break;
+            }
+          } else if (j >= 3 && j - 3 < n_inst_ && iinsts_[j - 3].raw == HeaderSaveRaw()) {
+            q_ = j - 3;
+            found = true;
+            break;
+          } else if (j >= 2 && j - 2 < n_inst_) {
+            q_ = j - 2;
             found = true;
             break;
           }
@@ -890,6 +1312,10 @@ class ObjectVerifier {
           case WordClass::kBkOri:
           case WordClass::kShadowMaterialize:
           case WordClass::kRefreshStore:
+          case WordClass::kScavShadowLoad:
+          case WordClass::kScavShadowStore:
+            // Scavenged windows never move the tracing state out of the
+            // stolen registers; the scavenge pass owns their protocol.
             break;
           case WordClass::kProgram: {
             const Inst& in = iinsts_[q];
@@ -1131,10 +1557,10 @@ class ObjectVerifier {
             StrFormat("block map flags 0x%x disagree with annotation flags 0x%x", info->flags,
                       b.flags));
       }
-      if (lift.walked && info->key_offset != (lift.header_pos + HeaderWords()) * 4) {
+      if (lift.walked && info->key_offset != (lift.header_pos + HeaderWordsFor(lift)) * 4) {
         Err(VerifyPass::kTraceTable, lift.header_pos, bn,
             StrFormat("block key 0x%x does not point at the bbtrace return slot 0x%x",
-                      info->key_offset, (lift.header_pos + HeaderWords()) * 4));
+                      info->key_offset, (lift.header_pos + HeaderWordsFor(lift)) * 4));
       }
       // The load/store map must match the instructions actually present.
       std::vector<MemOpStatic> actual;
@@ -1184,6 +1610,54 @@ class ObjectVerifier {
     }
   }
 
+  // ---- Scavenge proof: independent liveness justifying every rewrite ----
+
+  // Recomputes interprocedural liveness from the *original* object with the
+  // self-contained RefLiveness implementation (no code shared with the
+  // rewriter's src/dataflow analysis) and proves every elided header save
+  // and every scavenged window safe.
+  void ScavengePass() {
+    bool any_elided = false;
+    for (const BlockLift& lift : lifts_) {
+      any_elided |= lift.save_elided;
+    }
+    if (!any_elided && scav_uses_.empty()) {
+      return;  // Nothing was rewritten; nothing to prove.
+    }
+    RefLiveness live(orig_);
+    for (size_t bi = 0; bi < blocks_.size(); ++bi) {
+      if (!lifts_[bi].save_elided) {
+        continue;
+      }
+      if (live.LiveIn(blocks_[bi].start) & kRaMask) {
+        Err(VerifyPass::kScavenge, lifts_[bi].header_pos, static_cast<int32_t>(bi),
+            StrFormat("header 'sw ra' save elided but $ra is live at block leader 0x%x",
+                      blocks_[bi].start * 4));
+      }
+    }
+    for (const ScavUse& u : scav_uses_) {
+      const uint32_t in_live = live.LiveIn(u.orig_index);
+      for (unsigned x = 0; x < 3; ++x) {
+        if (u.subst[x] < 0) {
+          continue;
+        }
+        const uint8_t d = static_cast<uint8_t>(u.subst[x]);
+        if (kScratchForbidden & (1u << d)) {
+          Err(VerifyPass::kScavenge, u.inst_pos, u.block,
+              StrFormat("scavenged window for $%s borrows reserved register $%s",
+                        RegName(StolenByIndex(x)), RegName(d)));
+          continue;
+        }
+        if (in_live & (1u << d)) {
+          Err(VerifyPass::kScavenge, u.inst_pos, u.block,
+              StrFormat("scavenged scratch $%s is live across the window at original "
+                        "pc 0x%x",
+                        RegName(d), u.orig_index * 4));
+        }
+      }
+    }
+  }
+
   struct BranchAudit {
     uint32_t inst_pos;    // Instrumented word index of the branch.
     uint32_t orig_index;  // Original word index of the branch.
@@ -1205,6 +1679,8 @@ class ObjectVerifier {
   std::unordered_map<uint32_t, const BlockStatic*> info_by_orig_;
   std::vector<uint32_t> orig_pos_;
   std::vector<BranchAudit> branch_audits_;
+  std::vector<ScavUse> scav_uses_;
+  std::vector<std::pair<uint32_t, std::string>> syms_;  // (orig word, name), sorted.
   uint32_t q_ = 0;
 
   VerifyReport report_;
@@ -1219,12 +1695,30 @@ VerifyReport VerifyInstrumentedObject(const ObjectFile& original, const Instrume
 
 VerifyReport VerifyImage(const Executable& exe) {
   VerifyReport report;
+  // Symbols by ascending address inside the text segment, for attributing
+  // findings to their owning procedure.
+  std::vector<std::pair<uint32_t, std::string>> syms;
+  for (const auto& [name, addr] : exe.symbols) {
+    if (addr >= exe.text_base && addr < exe.TextEnd()) {
+      syms.emplace_back(addr, name);
+    }
+  }
+  std::sort(syms.begin(), syms.end());
+  auto symbol_for = [&](uint32_t pc) -> std::string {
+    if (pc < exe.text_base || pc >= exe.TextEnd()) {
+      return "";
+    }
+    auto it = std::upper_bound(syms.begin(), syms.end(),
+                               std::make_pair(pc, std::string("\x7f")));
+    return it == syms.begin() ? std::string() : std::prev(it)->second;
+  };
   auto add = [&](VerifySeverity severity, uint32_t pc, std::string message) {
     VerifyFinding f;
     f.severity = severity;
     f.pass = VerifyPass::kCfg;
     f.pc = pc;
     f.block = -1;
+    f.symbol = symbol_for(pc);
     f.message = std::move(message);
     if (severity == VerifySeverity::kError) {
       ++report.stats.errors;

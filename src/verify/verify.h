@@ -7,7 +7,7 @@
 // now those invariants were only checked *dynamically* — a traced run or a
 // §4.3 parser defense had to trip.  This library establishes them by
 // analysis of the instrumented artifact itself: it lifts instrumented text
-// into a basic-block CFG with the ISA decoder and runs four
+// into a basic-block CFG with the ISA decoder and runs six
 // dataflow/consistency passes:
 //
 //   shape       every reachable traced block begins with the 3-instruction
@@ -33,7 +33,15 @@
 //               (what TraceInfoTable serves to the parser) agree with the
 //               instructions actually present in each block: key offsets
 //               point at the bbtrace return slot, instruction counts,
-//               flags and memory-op maps match the text, keys are unique.
+//               flags and memory-op maps match the text, keys are unique;
+//   scavenge    the proof-carrying check of the liveness-driven rewrites:
+//               interprocedural register liveness is recomputed from the
+//               *original* object by an implementation that shares no code
+//               with src/dataflow, and every header `sw ra` elision and
+//               every scavenged shadow window is proved safe ($ra dead at
+//               the elided leader; the borrowed scratch dead across the
+//               window, never a reserved register, loaded before every
+//               scavenged read and stored back after every write).
 //
 // Findings are structured diagnostics (severity, pass, pc, block, message)
 // that bind into wrlstats and render as the `wrlverify/1` JSON schema; the
@@ -63,9 +71,10 @@ enum class VerifyPass : uint8_t {
   kLiveness = 2,    // Stolen-register liveness.
   kRelocation = 3,  // Relocation/address-correction audit.
   kTraceTable = 4,  // Static block-map cross-check.
+  kScavenge = 5,    // Liveness proof for elided saves / scavenged windows.
 };
 const char* VerifyPassName(VerifyPass pass);
-constexpr unsigned kNumVerifyPasses = 5;
+constexpr unsigned kNumVerifyPasses = 6;
 
 // One structured diagnostic.  `pc` is a byte address in the instrumented
 // text (offset-based for raw objects; absolute once VerifyOptions supplies
@@ -75,6 +84,9 @@ struct VerifyFinding {
   VerifyPass pass = VerifyPass::kShape;
   uint32_t pc = 0;
   int32_t block = -1;  // Original-block index, -1 when not block-scoped.
+  // Owning procedure of the original block (resolved from the original
+  // image's symbol table, like wrlprof); empty when not attributable.
+  std::string symbol;
   std::string message;
 };
 
@@ -117,7 +129,7 @@ struct VerifyOptions {
 
 // Object-level verification: checks that `result` (instrumented object +
 // static block map) is a faithful instrumentation of `original`.  This is
-// the full four-pass analysis.
+// the full six-pass analysis.
 VerifyReport VerifyInstrumentedObject(const ObjectFile& original, const InstrumentResult& result,
                                       const VerifyOptions& options = {});
 
