@@ -6,8 +6,10 @@
 // .items_per_second where the bench reports throughput — the BENCH_*.json
 // perf-trajectory record wrlbench_diff consumes.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -25,6 +27,7 @@
 #include "sweep/sweep.h"
 #include "trace/chunk_ring.h"
 #include "trace/parser.h"
+#include "trace/trace_archive.h"
 #include "trace/trace_log.h"
 #include "verify/verify.h"
 
@@ -329,6 +332,68 @@ void BM_TraceLogDecode(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(decoded));
 }
 BENCHMARK(BM_TraceLogDecode);
+
+// A scratch path under /tmp for the archive benches; each bench writes,
+// reads, and removes its own file so concurrent invocations don't collide.
+std::string BenchArchivePath(const char* tag) {
+  return StrFormat("/tmp/wrl_bench_%s_%d.wrl", tag, static_cast<int>(getpid()));
+}
+
+// Full archive write path on a real trace: delta+varint chunk encode, CRC,
+// and the per-chunk flush to disk.  Items are trace words persisted, so this
+// tracks the sustainable tee bandwidth RunExperiment's archive_path adds to
+// a live capture.
+void BM_ArchiveWrite(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  BareTraceRun run = RunBareTraced(build);
+  const std::vector<uint32_t>& words = run.trace_words;
+  constexpr size_t kChunkWords = 2048;
+  std::string path = BenchArchivePath("write");
+  uint64_t written = 0;
+  for (auto _ : state) {
+    ArchiveWriter writer(path, {{"workload", "bench"}});
+    for (size_t off = 0; off < words.size(); off += kChunkWords) {
+      size_t count = std::min(kChunkWords, words.size() - off);
+      writer.Append(words.data() + off, count);
+    }
+    writer.Finalize();
+    written += writer.words();
+    benchmark::DoNotOptimize(writer.bytes_written());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<int64_t>(written));
+}
+BENCHMARK(BM_ArchiveWrite);
+
+// Archive decode throughput off the mmap'd file: per-chunk CRC check plus
+// the bounded varint+delta decode — the per-chunk work the windowed
+// parallel replay fans out.  Directly comparable to BM_TraceLogDecode; the
+// delta is the cost of checksumming and untrusted-input bounds checks.
+void BM_ArchiveDecode(benchmark::State& state) {
+  BareBuild build = BuildBareTraced(kBody);
+  BareTraceRun run = RunBareTraced(build);
+  constexpr size_t kChunkWords = 2048;
+  std::string path = BenchArchivePath("decode");
+  {
+    ArchiveWriter writer(path, {{"workload", "bench"}});
+    for (size_t off = 0; off < run.trace_words.size(); off += kChunkWords) {
+      size_t count = std::min(kChunkWords, run.trace_words.size() - off);
+      writer.Append(run.trace_words.data() + off, count);
+    }
+    writer.Finalize();
+  }
+  ArchiveReader reader(path);
+  uint64_t decoded = 0;
+  for (auto _ : state) {
+    uint64_t words = 0;
+    reader.Replay([&](const uint32_t*, size_t n) { words += n; });
+    decoded += words;
+    benchmark::DoNotOptimize(words);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<int64_t>(decoded));
+}
+BENCHMARK(BM_ArchiveDecode);
 
 // The sweep engine's one pass over a realistic mixed stream, pricing an
 // 8-point I-cache family, an 8-point D-cache family, and a 64-entry TLB

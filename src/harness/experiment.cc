@@ -206,6 +206,20 @@ SystemConfig MakeConfig(const WorkloadSpec& workload, const ExperimentOptions& o
 
 }  // namespace
 
+const char* PersonalityName(Personality personality) {
+  return personality == Personality::kUltrix ? "ultrix" : "mach";
+}
+
+Personality PersonalityFromName(const std::string& name) {
+  if (name == "ultrix") {
+    return Personality::kUltrix;
+  }
+  if (name == "mach") {
+    return Personality::kMach;
+  }
+  throw Error("unknown personality '" + name + "' (expected 'ultrix' or 'mach')");
+}
+
 std::vector<std::string> ExperimentResult::Warnings() const {
   std::vector<std::string> warnings;
   if (parser_errors > 0) {
@@ -358,9 +372,13 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
   // Capture only when something actually replays: when the sweep absorbs
   // every variant the analysis (and the sweep with it) can stay live.
   const bool capture = options.capture_replay || !replayed_variants.empty();
+  // Durable capture tee (ExperimentOptions::archive_path): rides the chunk
+  // consumer in every transport mode.  Declared before the pipeline so
+  // unwinding joins the consumer thread before the writer is destroyed.
+  std::unique_ptr<ArchiveWriter> archive;
   // Pipelined transport state.  Declared after every component the consumer
-  // thread touches (parser, simulator, profiler, tee, trace_log), so stack
-  // unwinding joins the consumer before any of them is destroyed.
+  // thread touches (parser, simulator, profiler, tee, trace_log, archive),
+  // so stack unwinding joins the consumer before any of them is destroyed.
   // In pipelined live mode the parser runs on the consumer thread, so it
   // records its Feed phases into a private recorder (no cycle source — the
   // traced machine's cycle counter belongs to the producer thread) that is
@@ -453,6 +471,25 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       }
       consume = [&parser](const uint32_t* words, size_t count) { parser->Feed(words, count); };
     }
+    if (!options.archive_path.empty()) {
+      // Harness identity keys first, caller extras after; MetaValue returns
+      // the first match, so the harness's own identity is authoritative.
+      ArchiveMeta meta;
+      meta.emplace_back("workload", workload.name);
+      meta.emplace_back("personality", PersonalityName(options.personality));
+      meta.emplace_back("clock_period", std::to_string(options.clock_period));
+      meta.emplace_back("dilation", StrFormat("%.17g", options.dilation));
+      meta.emplace_back("trace_buf_bytes", std::to_string(options.trace_buf_bytes));
+      meta.emplace_back("scavenge", options.scavenge ? "1" : "0");
+      meta.emplace_back("max_instructions", std::to_string(options.max_instructions));
+      meta.insert(meta.end(), options.archive_meta.begin(), options.archive_meta.end());
+      archive = std::make_unique<ArchiveWriter>(options.archive_path, meta);
+      consume = [w = archive.get(),
+                 inner = std::move(consume)](const uint32_t* words, size_t count) {
+        w->Append(words, count);
+        inner(words, count);
+      };
+    }
     if (options.pipeline) {
       pipeline = std::make_unique<TracePipeline>(std::move(consume), options.pipeline_depth);
       traced->SetTraceSink([p = pipeline.get()](const uint32_t* words, size_t count) {
@@ -478,6 +515,11 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
       // Drain the ring and join the consumer; rethrows anything the
       // parser/sink chain threw mid-stream.
       pipeline->Finish();
+    }
+    if (archive != nullptr) {
+      // Every chunk is on disk; seal the directory footer.  A crash before
+      // this point leaves a footerless archive the reader recovers by scan.
+      archive->Finalize();
     }
     if (capture) {
       // Parse the capture once; fan the batch stream out to the primary
@@ -646,6 +688,9 @@ ExperimentResult RunExperiment(const WorkloadSpec& workload, const ExperimentOpt
     trace_log.RegisterStats(registry, "tracelog.");
   } else {
     parser->RegisterStats(registry, "parser.");
+  }
+  if (archive != nullptr) {
+    archive->RegisterStats(registry, "archive.");
   }
   simulator.RegisterStats(registry, "predicted.");
   if (sweep_engine != nullptr) {

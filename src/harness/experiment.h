@@ -18,10 +18,17 @@
 #include "stats/stats.h"
 #include "sweep/sweep.h"
 #include "trace/chunk_ring.h"
+#include "trace/trace_archive.h"
 #include "trace/trace_log.h"
 #include "workloads/workloads.h"
 
 namespace wrl {
+
+// Report/archive spelling of a personality and its inverse (used by run
+// reports and wrltrace/1 archive metadata; FromName throws wrl::Error on an
+// unknown spelling).
+const char* PersonalityName(Personality personality);
+Personality PersonalityFromName(const std::string& name);
 
 // One extra analysis configuration of a capture-once / replay-many sweep:
 // after the primary analysis replays the captured trace, each variant
@@ -132,6 +139,19 @@ struct ExperimentOptions {
   ProfileOptions profile_options;
   // Single-pass multi-configuration sweep (see SweepOptions above).
   SweepOptions sweep;
+  // Tee the capture to a durable wrltrace/1 archive at this path
+  // (trace/trace_archive.h): every drained chunk streams to disk as the
+  // analysis consumes it, in every transport mode (live, pipelined,
+  // capture-replay), so the on-disk chunk sequence is exactly the sequence
+  // the analysis saw.  The archive is finalized (directory footer + fsync)
+  // after the traced run drains; a crash mid-run leaves a recoverable
+  // footerless archive.  Empty = no archive.
+  std::string archive_path;
+  // Extra identity metadata recorded into the archive alongside the
+  // harness's own keys (workload, personality, clock_period, dilation,
+  // trace_buf_bytes, scavenge, max_instructions) — e.g. a tool's workload
+  // scale, so `wrltrace replay` can rebuild the capturing system.
+  ArchiveMeta archive_meta;
   // Live progress heartbeat: RunSuite emits periodic stderr lines
   // (workloads done, refs/sec, sim.mips, ETA).  WRL_PROGRESS=1 in the
   // environment forces it on.  Reports are unaffected — the heartbeat

@@ -34,11 +34,12 @@
 
 namespace wrl {
 
-// Everything a replay needs to re-parse a captured trace: the log itself
-// and the per-address-space lookup tables of the *capturing* system (which
-// must stay alive for the engine's lifetime).
+// Everything a replay needs to re-parse a captured trace: the chunk source
+// (an in-memory TraceLog or an on-disk ArchiveReader — the engine does not
+// care which) and the per-address-space lookup tables of the *capturing*
+// system (which must stay alive for the engine's lifetime).
 struct ReplaySource {
-  const TraceLog* log = nullptr;
+  const TraceChunkSource* log = nullptr;
   const TraceInfoTable* kernel_table = nullptr;
   std::vector<std::pair<uint8_t, const TraceInfoTable*>> user_tables;
   uint8_t initial_context = kKernelPid;

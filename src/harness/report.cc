@@ -10,10 +10,6 @@ namespace wrl {
 
 namespace {
 
-const char* PersonalityName(Personality personality) {
-  return personality == Personality::kUltrix ? "ultrix" : "mach";
-}
-
 std::string MetricKey(const ExperimentResult& result, const char* leaf) {
   return StrFormat("%s.%s.%s", PersonalityName(result.personality), result.workload.c_str(),
                    leaf);

@@ -1,48 +1,9 @@
 #include "trace/trace_log.h"
 
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <exception>
-#include <mutex>
-#include <thread>
-
 #include "support/error.h"
+#include "trace/chunk_codec.h"
 
 namespace wrl {
-
-namespace {
-
-// Zigzag keeps small negative deltas small: 0,-1,1,-2,2 -> 0,1,2,3,4.
-inline uint32_t ZigZag(int32_t value) {
-  return (static_cast<uint32_t>(value) << 1) ^ static_cast<uint32_t>(value >> 31);
-}
-inline int32_t UnZigZag(uint32_t value) {
-  return static_cast<int32_t>((value >> 1) ^ (~(value & 1) + 1));
-}
-
-inline void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  out.push_back(static_cast<uint8_t>(value));
-}
-
-inline uint64_t GetVarint(const uint8_t* data, size_t& pos) {
-  uint64_t value = 0;
-  unsigned shift = 0;
-  while (true) {
-    uint8_t byte = data[pos++];
-    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) {
-      return value;
-    }
-    shift += 7;
-  }
-}
-
-}  // namespace
 
 void TraceLog::Append(const uint32_t* words, size_t count) {
   chunk_words_.push_back(count);
@@ -52,17 +13,9 @@ void TraceLog::Append(const uint32_t* words, size_t count) {
     raw_.insert(raw_.end(), words, words + count);
     return;
   }
-  // Fresh predictors per chunk, so chunks decode independently (the
-  // chunk-parallel replay relies on this).
-  uint32_t prev[16] = {};
-  for (size_t i = 0; i < count; ++i) {
-    uint32_t word = words[i];
-    unsigned bucket = Bucket(word);
-    // Modular subtraction keeps the delta within int32 regardless of wrap.
-    int32_t delta = static_cast<int32_t>(word - prev[bucket]);
-    prev[bucket] = word;
-    PutVarint(bytes_, (static_cast<uint64_t>(ZigZag(delta)) << 4) | bucket);
-  }
+  // Fresh predictors per chunk (the codec's contract), so chunks decode
+  // independently — the chunk-parallel replay relies on this.
+  codec::EncodeChunk(words, count, bytes_);
 }
 
 void TraceLog::DecodeChunk(size_t index, std::vector<uint32_t>& out) const {
@@ -75,16 +28,7 @@ void TraceLog::DecodeChunk(size_t index, std::vector<uint32_t>& out) const {
     out.insert(out.end(), begin, begin + count);
     return;
   }
-  uint32_t prev[16] = {};
-  size_t pos = chunk_starts_[index];
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t coded = GetVarint(bytes_.data(), pos);
-    unsigned bucket = coded & 0xf;
-    uint32_t word =
-        prev[bucket] + static_cast<uint32_t>(UnZigZag(static_cast<uint32_t>(coded >> 4)));
-    prev[bucket] = word;
-    out.push_back(word);
-  }
+  codec::DecodeChunk(bytes_.data(), chunk_starts_[index], count, out);
 }
 
 void TraceLog::Replay(const std::function<void(const uint32_t*, size_t)>& sink) const {
@@ -96,115 +40,16 @@ void TraceLog::Replay(const std::function<void(const uint32_t*, size_t)>& sink) 
     }
     return;
   }
-  std::vector<uint32_t> buffer;
-  for (size_t i = 0; i < chunk_words_.size(); ++i) {
-    DecodeChunk(i, buffer);
-    sink(buffer.data(), buffer.size());
-  }
+  TraceChunkSource::Replay(sink);
 }
 
 void TraceLog::ReplayParallel(
     unsigned workers, const std::function<void(const uint32_t*, size_t)>& sink) const {
-  const size_t n = chunk_words_.size();
-  if (!packed_ || workers <= 1 || n <= 1) {
+  if (!packed_) {
     Replay(sink);
     return;
   }
-  workers = static_cast<unsigned>(std::min<size_t>(workers, n));
-  // In-flight bound: decoded-but-undelivered chunks never exceed the
-  // window, so peak memory is O(workers × chunk), not O(log).
-  const size_t window = static_cast<size_t>(workers) * 4;
-
-  std::mutex mutex;
-  std::condition_variable chunk_ready;   // Signals the delivery loop.
-  std::condition_variable window_open;   // Signals waiting decoders.
-  std::vector<std::vector<uint32_t>> decoded(n);
-  std::vector<uint8_t> ready(n, 0);      // Guarded by mutex.
-  size_t delivered = 0;                  // Guarded by mutex.
-  bool abandoned = false;                // Sink threw; decoders bail out.
-  std::atomic<size_t> next{0};
-  std::exception_ptr decode_error;       // First decoder failure (if any).
-
-  auto decode_worker = [&] {
-    std::vector<uint32_t> buffer;
-    try {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        {
-          std::unique_lock<std::mutex> lock(mutex);
-          window_open.wait(lock, [&] { return i < delivered + window || abandoned; });
-          if (abandoned) {
-            return;
-          }
-        }
-        DecodeChunk(i, buffer);
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          decoded[i] = std::move(buffer);
-          ready[i] = 1;
-        }
-        buffer = std::vector<uint32_t>();
-        chunk_ready.notify_all();
-      }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex);
-      if (decode_error == nullptr) {
-        decode_error = std::current_exception();
-      }
-      abandoned = true;
-      chunk_ready.notify_all();
-      window_open.notify_all();
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) {
-    pool.emplace_back(decode_worker);
-  }
-
-  // Strict in-order delivery on the calling thread: the sink (typically a
-  // stateful parser) sees exactly the Replay() sequence.
-  std::exception_ptr sink_error;
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<uint32_t> chunk;
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      chunk_ready.wait(lock, [&] { return ready[i] != 0 || abandoned; });
-      if (abandoned && ready[i] == 0) {
-        break;
-      }
-      chunk = std::move(decoded[i]);
-      delivered = i + 1;
-    }
-    window_open.notify_all();
-    try {
-      sink(chunk.data(), chunk.size());
-    } catch (...) {
-      sink_error = std::current_exception();
-      std::lock_guard<std::mutex> lock(mutex);
-      abandoned = true;
-      window_open.notify_all();
-      break;
-    }
-  }
-  for (std::thread& worker : pool) {
-    worker.join();
-  }
-  if (sink_error != nullptr) {
-    std::rethrow_exception(sink_error);
-  }
-  if (decode_error != nullptr) {
-    std::rethrow_exception(decode_error);
-  }
-}
-
-std::vector<uint32_t> TraceLog::Words() const {
-  std::vector<uint32_t> all;
-  all.reserve(words_);
-  Replay([&all](const uint32_t* words, size_t count) {
-    all.insert(all.end(), words, words + count);
-  });
-  return all;
+  TraceChunkSource::ReplayParallel(workers, sink);
 }
 
 void TraceLog::Clear() {

@@ -4,26 +4,20 @@
 // A TraceLog records the raw kernel-buffer words exactly as the trace
 // transport drained them, preserving drain-chunk boundaries, so any number
 // of analysis configurations can later replay the identical stream without
-// re-running the traced machine.  Storage is optionally packed: trace words
-// are strongly clustered (block keys walk text pages, data addresses walk
-// the data segment, markers live in one reserved page), so each word is
-// delta-encoded against the last word seen in its 16-way bucket (a fold of
-// the word's upper address nibbles) and the zigzagged delta is
-// LEB128-varint coded.  Typical system
-// traces pack to roughly half their raw size — directly addressing the
-// paper's §4.3 concern that buffer capacity bounds continuous tracing —
-// and the achieved ratio is exported as a wrlstats metric rather than
-// assumed.  Packing is lossless: Replay() reproduces the captured words
-// bit-for-bit in the captured chunking.
+// re-running the traced machine.  Storage is optionally packed with the
+// shared chunk codec (trace/chunk_codec.h): per-bucket delta + zigzag +
+// LEB128 varints.  Typical system traces pack to roughly half their raw
+// size — directly addressing the paper's §4.3 concern that buffer capacity
+// bounds continuous tracing — and the achieved ratio is exported as a
+// wrlstats metric rather than assumed.  Packing is lossless: Replay()
+// reproduces the captured words bit-for-bit in the captured chunking.
 //
-// Chunks are *independently* delta-encoded: the per-bucket predictors
-// reset at every chunk boundary and each chunk's start offset in the
-// packed stream is recorded, so any chunk decodes without touching the
-// ones before it.  That costs a handful of full-width varints per chunk
-// (noise against the thousands of words a drain holds) and buys
-// chunk-parallel decode: ReplayParallel() fans the decode out to worker
-// threads while delivering chunks to the sink strictly in capture order —
-// the same sequence, boundaries, and words Replay() produces, just faster.
+// Chunks are *independently* coded (predictors reset per chunk, start
+// offsets recorded), so TraceLog implements TraceChunkSource: any chunk
+// decodes without touching the ones before it, ReplayParallel() fans the
+// decode out to worker threads, and the analysis side treats an in-memory
+// capture and an on-disk wrltrace/1 archive (trace_archive.h)
+// interchangeably.
 #ifndef WRLTRACE_TRACE_TRACE_LOG_H_
 #define WRLTRACE_TRACE_TRACE_LOG_H_
 
@@ -33,10 +27,11 @@
 #include <vector>
 
 #include "stats/stats.h"
+#include "trace/chunk_source.h"
 
 namespace wrl {
 
-class TraceLog {
+class TraceLog : public TraceChunkSource {
  public:
   // `packed` selects the delta/varint encoding; unpacked logs store the
   // words verbatim (useful when append cost must be absolutely minimal).
@@ -48,20 +43,16 @@ class TraceLog {
   void Append(const uint32_t* words, size_t count);
   void Append(const std::vector<uint32_t>& words) { Append(words.data(), words.size()); }
 
-  // Decodes the log, invoking `sink` once per captured chunk.
-  void Replay(const std::function<void(const uint32_t*, size_t)>& sink) const;
-  // Chunk-parallel decode: up to `workers` threads decode chunks
-  // concurrently (each chunk is independently coded) while the calling
-  // thread invokes `sink` once per chunk in strict capture order — the
-  // identical delivery Replay() makes.  In-flight decoded chunks are
-  // bounded, so memory stays O(workers), not O(log).  workers <= 1, an
-  // unpacked log, or a single-chunk log all degrade to Replay().
+  // ---- TraceChunkSource ----
+  size_t chunk_count() const override { return chunk_words_.size(); }
+  uint64_t word_count() const override { return words_; }
+  void DecodeChunk(size_t index, std::vector<uint32_t>& out) const override;
+  // Unpacked logs hand out their own storage without a decode copy.
+  void Replay(const std::function<void(const uint32_t*, size_t)>& sink) const override;
+  // An unpacked log has nothing to decode in parallel; it degrades to the
+  // zero-copy Replay().
   void ReplayParallel(unsigned workers,
-                      const std::function<void(const uint32_t*, size_t)>& sink) const;
-  // Decodes one chunk (0-based capture order) into `out` (cleared first).
-  void DecodeChunk(size_t index, std::vector<uint32_t>& out) const;
-  // The whole log as one flat word vector.
-  std::vector<uint32_t> Words() const;
+                      const std::function<void(const uint32_t*, size_t)>& sink) const override;
 
   void Clear();
 
@@ -80,16 +71,6 @@ class TraceLog {
   void RegisterStats(StatsRegistry& registry, const std::string& prefix = "tracelog.");
 
  private:
-  // Predictor selection: fold every upper-address nibble (page-offset bits
-  // excluded) so interleaved streams that differ in *any* bit above the
-  // page offset — block keys vs data addresses, text vs stack — get
-  // separate delta predictors.  The bucket id is stored in the coded
-  // stream, so this choice only affects the achieved ratio, never
-  // decodability.
-  static unsigned Bucket(uint32_t word) {
-    return ((word >> 12) ^ (word >> 16) ^ (word >> 20) ^ (word >> 24) ^ (word >> 28)) & 0xfu;
-  }
-
   bool packed_;
   std::vector<uint8_t> bytes_;     // Packed stream (packed_ == true).
   std::vector<uint32_t> raw_;      // Verbatim words (packed_ == false).

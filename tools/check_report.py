@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for wrltrace's machine-readable reports.
+
+One entry point for every JSON document the CI smoke jobs assert over:
+
+    check_report.py wrlstats         report.json      # tlb_study full report
+    check_report.py wrlverify        wrlverify.json
+    check_report.py replay-sweep     BENCH_replay_sweep.json
+    check_report.py sweep-smoke      sweep_smoke.json
+    check_report.py wrlprof          wrlprof.json --folded wrlprof.folded
+    check_report.py wrltrace-analysis live.json
+
+Each check loads the document, asserts the schema tag and the invariants
+that keep the report's consumers honest (counter presence, conservation
+laws, monotone sweep curves, reconciliation flags), and prints a one-line
+summary.  Any violated invariant raises AssertionError and exits nonzero.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_wrlstats(path, args):
+    """The tlb_study wrlstats/1 report: counters, metrics, timeline."""
+    report = load(path)
+    assert report["schema"] == "wrlstats/1", report.get("schema")
+    assert report["tool"] == "tlb_study"
+    counters = report["counters"]
+    for key in (
+        "measured.machine.cycles",
+        "measured.kernel.utlb_misses",
+        "measured.machine.memsys.dcache_misses",
+        "parser.refs",
+        "parser.validation_errors",
+        "tlbsim.utlb_misses",
+    ):
+        assert key in counters, f"missing counter: {key}"
+    assert counters["measured.machine.cycles"] > 0
+    assert counters["parser.validation_errors"] == 0
+    metrics = report["metrics"]
+    assert metrics, "empty metrics object"
+    # The capture-once/replay-many contract: one traced machine run feeds
+    # the whole sweep, and replaying the capture beats the live-analysis
+    # bound by a wide margin.
+    assert metrics["traced_machine_runs"] == 1, metrics["traced_machine_runs"]
+    assert metrics["tracelog.compression_ratio"] > 1.0
+    assert metrics["replay.speedup_vs_live"] >= 5.0, metrics["replay.speedup_vs_live"]
+    assert report["traceEvents"], "empty event timeline"
+    print(f"report OK: {len(counters)} counters, "
+          f"{len(report['traceEvents'])} timeline events, "
+          f"{metrics['tracelog.compression_ratio']:.2f}x capture, "
+          f"replay {metrics['replay.speedup_vs_live']:.1f}x live")
+
+
+def check_wrlverify(path, args):
+    """The wrlverify/1 static-verification report: zero findings."""
+    report = load(path)
+    assert report["schema"] == "wrlverify/1", report.get("schema")
+    targets = report["targets"]
+    assert len(targets) > 40, f"only {len(targets)} targets verified"
+    totals = report["totals"]
+    assert totals["verify.errors"] == 0, totals
+    assert totals["verify.warnings"] == 0, totals
+    assert totals["verify.traced_blocks"] > 1000
+    print(f"wrlverify OK: {len(targets)} targets, "
+          f"{int(totals['verify.blocks'])} blocks, "
+          f"{int(totals['verify.mem_ops'])} memory ops, 0 findings")
+
+
+def check_replay_sweep(path, args):
+    """The bench-smoke replay sweep: one traced run, one sweep pass."""
+    metrics = load(path)["metrics"]
+    assert metrics["traced_machine_runs"] == 1, metrics["traced_machine_runs"]
+    # production64 + ONE sweep pass, regardless of how many sizes the curve
+    # covers (the old per-size fan-out would have been 3).
+    assert metrics["replay.configs"] == 2, metrics["replay.configs"]
+    assert metrics["tracelog.compression_ratio"] > 1.0
+    assert metrics["replay.mrefs_per_sec"] > 0
+    assert metrics["sweep.mrefs_per_sec"] > 0
+    assert metrics["sweep.family_points"] == 16, metrics["sweep.family_points"]
+    print(f"replay sweep OK: {metrics['tracelog.compression_ratio']:.2f}x capture, "
+          f"{metrics['replay.mrefs_per_sec']:.1f} Mrefs/s over "
+          f"{int(metrics['replay.configs'])} configs, sweep "
+          f"{metrics['sweep.mrefs_per_sec']:.0f} Mrefs/s equivalent")
+
+
+def check_sweep_smoke(path, args):
+    """The end-to-end sweep report: family points, monotone curves."""
+    report = load(path)
+    assert report["schema"] == "wrlstats/1", report.get("schema")
+    assert report["tool"] == "tlb_study"
+    metrics = report["metrics"]
+    # One traced machine run feeds everything.
+    assert metrics["traced_machine_runs"] == 1, metrics["traced_machine_runs"]
+    # The 8-point I-cache family + the 8-point D-cache family.
+    assert metrics["sweep.family_points"] == 16, metrics["sweep.family_points"]
+    assert metrics["sweep.tlb_max_entries"] == 256
+    assert metrics["sweep.mrefs_per_sec"] > 0
+    # --check ran: the measured sweep-vs-replay speedup is recorded.
+    assert metrics["sweep.speedup_vs_replay"] > 1.0, metrics["sweep.speedup_vs_replay"]
+    # The exact LRU curve is monotone in capacity.
+    curve = [metrics[f"eqntott.sweep.entries_{n}.misses"]
+             for n in (8, 16, 32, 64, 128, 256)]
+    assert all(a >= b for a, b in zip(curve, curve[1:])), curve
+    # Both 8-point cache families, monotone in size.
+    for side in ("icache", "dcache"):
+        family = [metrics[f"eqntott.sweep.{side}_{kb}k.misses"]
+                  for kb in (4, 8, 16, 32, 64, 128, 256, 512)]
+        assert all(a >= b for a, b in zip(family, family[1:])), family
+    counters = report["counters"]
+    assert counters["sweep.refs"] > 0
+    assert counters["sweep.synthesized_refs"] > 0
+    assert counters["sweep.tlbsim.utlb_misses"] == \
+        metrics["eqntott.simulated_utlb_misses"]
+    print(f"sweep smoke OK: {int(metrics['sweep.family_points'])} family "
+          f"points + {int(metrics['sweep.tlb_max_entries'])}-entry curve, "
+          f"{metrics['sweep.speedup_vs_replay']:.1f}x vs dedicated replays, "
+          f"{metrics['sweep.mrefs_per_sec']:.0f} Mrefs/s equivalent")
+
+
+def check_wrlprof(path, args):
+    """The wrlprof/1 attribution profile: exact reconciliation."""
+    report = load(path)
+    assert report["schema"] == "wrlprof/1", report.get("schema")
+    assert report["tool"] == "wrlprof"
+    assert report["reconcile"]["exact"] is True, report["reconcile"]
+    profile = report["profile"]
+    totals = profile["totals"]
+    assert totals["refs"] > 0 and totals["insts"] > 0
+    assert totals["unattributed_insts"] == 0, totals
+    assert totals["block_entries"] > 0
+    assert profile["blocks"] and profile["symbols"] and profile["pages"]
+    assert profile["working_set"], "empty working-set curve"
+    for block in profile["blocks"]:
+        assert block["insts"] >= block["entries"], block
+    folded = []
+    if args.folded:
+        with open(args.folded) as f:
+            folded = f.read().splitlines()
+        assert folded and all(";" in line for line in folded)
+    print(f"wrlprof OK: {int(totals['refs'])} refs, "
+          f"{len(profile['symbols'])} symbols, "
+          f"{len(folded)} folded stacks, reconcile exact")
+
+
+def check_wrltrace_analysis(path, args):
+    """The wrltrace-analysis/1 counter document record/replay agree over."""
+    report = load(path)
+    assert report["schema"] == "wrltrace-analysis/1", report.get("schema")
+    assert report["tool"] == "wrltrace"
+    assert report["mode"] in ("record", "replay"), report.get("mode")
+    assert report["workload"], "missing workload identity"
+    counters = report["counters"]
+    assert counters, "empty counters object"
+    for key in ("parser.refs", "parser.validation_errors", "predicted.instructions"):
+        assert key in counters, f"missing counter: {key}"
+    assert counters["parser.refs"] > 0
+    assert counters["parser.validation_errors"] == 0, counters
+    assert report["predicted_cycles"] > 0, report["predicted_cycles"]
+    print(f"wrltrace analysis OK ({report['mode']}): {len(counters)} counters, "
+          f"{int(counters['parser.refs'])} refs, "
+          f"{report['predicted_cycles']:.0f} predicted cycles")
+
+
+CHECKS = {
+    "wrlstats": check_wrlstats,
+    "wrlverify": check_wrlverify,
+    "replay-sweep": check_replay_sweep,
+    "sweep-smoke": check_sweep_smoke,
+    "wrlprof": check_wrlprof,
+    "wrltrace-analysis": check_wrltrace_analysis,
+}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("kind", choices=sorted(CHECKS))
+    parser.add_argument("path")
+    parser.add_argument("--folded", help="folded-stacks file (wrlprof only)")
+    args = parser.parse_args(argv)
+    try:
+        CHECKS[args.kind](args.path, args)
+    except AssertionError as e:
+        print(f"check_report: {args.kind}: {args.path}: FAILED: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
